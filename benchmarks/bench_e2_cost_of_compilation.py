@@ -1,0 +1,135 @@
+"""E2 — the "cost in space and speed" of behavioural compilation.
+
+Gray notes that compiling behaviour to hardware has been possible "although
+at a cost in space and speed".  For four small machines this benchmark
+compares the automatically compiled implementation against a hand-structured
+one in area and in estimated cycle time (unit-delay logic depth times the
+technology's inverter-pair delay).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cells import InverterCell, NandCell
+from repro.generators import FsmLayoutGenerator, PlaGenerator
+from repro.logic import FSM, TruthTable, parse_expr
+from repro.metrics import format_table, speed_estimate_ns
+from repro.netlist import GateLevelSimulator
+from repro.rtl import RtlCompiler, parse_rtl
+from repro.rtl.compiler import synthesize_layout
+
+DESIGNS = {
+    "adder4": """
+machine adder4;
+input a[4], b[4];
+output s[5];
+always begin
+    s = a + b;
+end
+""",
+    "alu_slice": """
+machine alu_slice;
+input a[4], b[4], op[2];
+output y[4];
+always begin
+    if (op == 0) y = a + b;
+    if (op == 1) y = a & b;
+    if (op == 2) y = a | b;
+    if (op == 3) y = a ^ b;
+end
+""",
+    "counter8": """
+machine counter8;
+input enable[1], clear[1];
+output q[8];
+register count[8];
+always begin
+    if (clear) count <- 0;
+    else begin
+        if (enable) count <- count + 1;
+    end
+    q = count;
+end
+""",
+    "sequencer": """
+machine sequencer;
+input go[1];
+output phase[2], active[1];
+register state[2];
+always begin
+    if (state == 0) begin
+        if (go) state <- 1;
+    end
+    if (state == 1) state <- 2;
+    if (state == 2) state <- 3;
+    if (state == 3) state <- 0;
+    phase = state;
+    active = state != 0;
+end
+""",
+}
+
+
+def hand_area_for(name, technology):
+    """A hand-structured equivalent for each design (PLA or gate composition)."""
+    if name == "adder4":
+        table = TruthTable.from_expressions(
+            {"s": parse_expr("a ^ b"), "c": parse_expr("a & b")})
+        generator = PlaGenerator(technology, table, name="e2_adder_bit")
+        generator.cell()
+        return 4 * generator.report.area, 4
+    if name == "alu_slice":
+        nand = NandCell(technology, inputs=3).cell()
+        inverter = InverterCell(technology).cell()
+        return 4 * (4 * nand.width * nand.height + 2 * inverter.width * inverter.height), 5
+    if name == "counter8":
+        from repro.cells import RegisterBitCell
+        register = RegisterBitCell(technology).cell()
+        nand = NandCell(technology, inputs=2).cell()
+        return 8 * (register.width * register.height + 2 * nand.width * nand.height), 9
+    fsm = FSM("seq", inputs=["go"], outputs=["active"])
+    fsm.add_state("S0", {}, reset=True)
+    fsm.add_state("S1", {"active": 1})
+    fsm.add_state("S2", {"active": 1})
+    fsm.add_state("S3", {"active": 1})
+    fsm.add_transition("S0", "S1", {"go": 1})
+    fsm.add_transition("S1", "S2")
+    fsm.add_transition("S2", "S3")
+    fsm.add_transition("S3", "S0")
+    generator = FsmLayoutGenerator(technology, fsm)
+    generator.cell()
+    return generator.report.area, 3
+
+
+def compile_all(technology):
+    results = {}
+    for name, source in DESIGNS.items():
+        compiled = RtlCompiler(parse_rtl(source)).compile()
+        layout, report = synthesize_layout(compiled, technology)
+        depth = GateLevelSimulator(compiled.module).critical_path_estimate()
+        results[name] = (compiled, report, depth)
+    return results
+
+
+def test_e2_cost_of_behavioural_compilation(benchmark, technology):
+    results = benchmark(compile_all, technology)
+
+    rows = []
+    for name, (compiled, report, depth) in results.items():
+        hand_area, hand_depth = hand_area_for(name, technology)
+        auto_speed = speed_estimate_ns(depth, technology)
+        hand_speed = speed_estimate_ns(hand_depth, technology)
+        rows.append([
+            name, compiled.gate_count, report.area, hand_area,
+            f"{report.area / hand_area:.2f}x",
+            f"{auto_speed:.0f}", f"{hand_speed:.0f}",
+            f"{auto_speed / hand_speed:.2f}x",
+        ])
+        # Shape: automatic is never better than hand on area.
+        assert report.area >= hand_area * 0.8
+    emit(format_table(
+        ["design", "gates", "auto area", "hand area", "area cost",
+         "auto delay (ns)", "hand delay (ns)", "speed cost"],
+        rows,
+        "E2: space and speed cost of behavioural compilation",
+    ))

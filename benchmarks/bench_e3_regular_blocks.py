@@ -1,0 +1,93 @@
+"""E3 — parameterised regular-block compilation (the microscopic compiler).
+
+"Regular blocks, such as memories and PLAs, are programmed for specific
+functions."  This benchmark sweeps the generator parameters (PLA inputs and
+product terms, ROM words, RAM bits) and reports how the generated area and
+transistor counts scale — the predictability that makes generators usable
+as compilers.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.generators import PlaGenerator, RamGenerator, RomGenerator
+from repro.logic import TruthTable
+from repro.metrics import format_table
+
+
+def random_table(num_inputs, num_outputs, seed):
+    rng = random.Random(seed)
+    table = TruthTable([f"i{k}" for k in range(num_inputs)],
+                       [f"o{k}" for k in range(num_outputs)])
+    for row in range(2 ** num_inputs):
+        for name in table.output_names:
+            table.set_output(row, name, rng.randint(0, 1) & rng.randint(0, 1))
+    return table
+
+
+def sweep_plas(technology):
+    rows = []
+    for num_inputs in (4, 6, 8, 10):
+        table = random_table(num_inputs, 4, seed=num_inputs)
+        generator = PlaGenerator(technology, table, name=f"e3_pla_{num_inputs}")
+        generator.cell()
+        report = generator.report
+        rows.append([num_inputs, 4, report.terms, report.width, report.height,
+                     report.area, report.total_transistors])
+    return rows
+
+
+def sweep_roms(technology):
+    rows = []
+    rng = random.Random(42)
+    for words in (16, 64, 256):
+        contents = [rng.randrange(256) for _ in range(words)]
+        generator = RomGenerator(technology, contents, bits_per_word=8)
+        generator.cell()
+        report = generator.report
+        rows.append([words, 8, report.area, report.transistors])
+    return rows
+
+
+def sweep_rams(technology):
+    rows = []
+    for words, bits in ((16, 4), (16, 8), (64, 8)):
+        generator = RamGenerator(technology, words=words, bits_per_word=bits)
+        generator.cell()
+        report = generator.report
+        rows.append([words, bits, report.bits, report.area, report.transistors])
+    return rows
+
+
+def test_e3_pla_parameter_sweep(benchmark, technology):
+    rows = benchmark(sweep_plas, technology)
+    emit(format_table(
+        ["inputs", "outputs", "terms", "width", "height", "area", "transistors"],
+        rows, "E3a: PLA generator parameter sweep"))
+    # Area grows monotonically with the number of inputs in the sweep.
+    areas = [row[5] for row in rows]
+    assert areas == sorted(areas)
+
+
+def test_e3_rom_parameter_sweep(benchmark, technology):
+    rows = benchmark(sweep_roms, technology)
+    emit(format_table(["words", "bits/word", "area", "transistors"], rows,
+                      "E3b: ROM generator parameter sweep"))
+    areas = [row[2] for row in rows]
+    assert areas == sorted(areas)
+    # Area per bit falls (or at least does not explode) as the array grows:
+    # the decoder is amortised over more words.
+    per_bit = [row[2] / (row[0] * row[1]) for row in rows]
+    assert per_bit[-1] < per_bit[0] * 1.5
+
+
+def test_e3_ram_parameter_sweep(benchmark, technology):
+    rows = benchmark(sweep_rams, technology)
+    emit(format_table(["words", "bits/word", "bits", "area", "transistors"], rows,
+                      "E3c: static RAM generator parameter sweep"))
+    assert rows[-1][3] > rows[0][3]
+    # Transistor count is dominated by 6T cells.
+    for words, bits, total_bits, _area, transistors in rows:
+        assert transistors >= 6 * total_bits

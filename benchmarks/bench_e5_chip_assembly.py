@@ -1,0 +1,71 @@
+"""E5 — the benefits of parameterised specification in chip assembly.
+
+"The benefits of parameterised specification is also clearly demonstrated in
+the task of chip assembly."  One assembly program is swept across datapath
+widths and control complexities; the description size stays constant while
+the assembled chips grow, and assembly remains automatic (pad ring sizing,
+floorplanning, pad-to-core routing all follow the parameters).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.assembly import ChipAssembler
+from repro.generators import DatapathColumn, DatapathGenerator, PlaGenerator
+from repro.logic import TruthTable, parse_expr
+from repro.metrics import format_table
+
+
+def control_table(extra_outputs):
+    equations = {
+        "load": parse_expr("start & ~busy"),
+        "add": parse_expr("start & busy"),
+        "done": parse_expr("~start & busy"),
+    }
+    for index in range(extra_outputs):
+        equations[f"aux{index}"] = parse_expr("start ^ busy" if index % 2 else "start & busy")
+    return TruthTable.from_expressions(equations, input_names=["start", "busy"])
+
+
+def assemble_family(technology):
+    reports = []
+    for bits, extra in ((4, 0), (8, 2), (16, 4), (24, 6)):
+        assembler = ChipAssembler(f"e5_chip_{bits}", technology)
+        datapath = DatapathGenerator(
+            technology,
+            [DatapathColumn("register", "acc"), DatapathColumn("adder", "alu"),
+             DatapathColumn("shifter", "sh"), DatapathColumn("bus", "bus")],
+            bits=bits)
+        control = PlaGenerator(technology, control_table(extra), name=f"e5_ctl_{bits}")
+        assembler.add_block("datapath", datapath.cell())
+        assembler.add_block("control", control.cell())
+        assembler.add_supply_pads()
+        assembler.add_pad("start", "input", connect_to=("control", "start"))
+        assembler.add_pad("busy", "input", connect_to=("control", "busy"))
+        assembler.add_pad("done", "output", connect_to=("control", "done"))
+        assembler.add_pad("bus0", "output", connect_to=("datapath", "bus_out0"))
+        assembler.assemble()
+        reports.append((bits, extra, assembler.description_size(), assembler.report))
+    return reports
+
+
+def test_e5_parameterised_chip_assembly(benchmark, technology):
+    reports = benchmark(assemble_family, technology)
+    rows = []
+    for bits, extra, description_size, report in reports:
+        rows.append([
+            bits, extra, description_size, report.pad_count,
+            report.core_width * report.core_height, report.chip_area,
+            f"{report.core_utilisation:.2f}", report.total_route_length,
+        ])
+    emit(format_table(
+        ["datapath bits", "extra control", "description size", "pads",
+         "core area", "chip area", "core utilisation", "pad route length"],
+        rows, "E5: one assembly program across the parameter space"))
+
+    description_sizes = {row[2] for row in rows}
+    chip_areas = [row[5] for row in rows]
+    # The program does not grow; the chips do.
+    assert len(description_sizes) == 1
+    assert chip_areas == sorted(chip_areas)
+    assert chip_areas[-1] > 1.3 * chip_areas[0]

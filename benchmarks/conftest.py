@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md (E1..E10) and
+prints a paper-style table of the rows it measured, in addition to the
+pytest-benchmark timing of the compilation step it exercises.
+"""
+
+import pytest
+
+from repro.technology import nmos_technology
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """One NMOS technology instance shared by all benchmarks."""
+    return nmos_technology()
+
+
+def emit(table_text: str) -> None:
+    """Print an experiment table so it appears in the benchmark log."""
+    print()
+    print(table_text)
+    print()

@@ -1,0 +1,28 @@
+"""Packaging entry point.
+
+Packaging deliberately uses the classic ``setup.py``/``setup.cfg`` route
+rather than ``pyproject.toml``: the reproduction environment is offline, and
+a ``pyproject.toml`` forces pip into PEP 517 build isolation, which tries to
+download build requirements.  The legacy path installs editable copies with
+the already-present setuptools and no network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Silicon compilation toolchain reproducing J.P. Gray, "
+        "'Introduction to Silicon Compilation' (DAC 1979)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read() or "silicon compiler",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

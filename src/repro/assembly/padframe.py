@@ -1,0 +1,134 @@
+"""Pad ring generation.
+
+The pad ring surrounds the core with bonding pads on all four sides,
+distributing signal, supply and clock pads as specified.  Pads on the top
+and bottom rows are rotated so their signal tails point at the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.transform import Orientation
+from repro.layout.cell import Cell
+from repro.cells.pads import BondingPadCell
+from repro.technology.technology import Technology
+
+
+@dataclass(frozen=True)
+class PadSpec:
+    """One pad to place: its signal name and kind."""
+
+    name: str
+    kind: str = "signal"    # signal / input / output / vdd / gnd
+
+
+@dataclass
+class PadPlacement:
+    spec: PadSpec
+    side: str               # south / east / north / west
+    core_position: Point    # where the pad's core-side tail ends (chip coords)
+
+
+class PadRing:
+    """Generate a ring of pads sized to surround a core of given dimensions."""
+
+    def __init__(self, technology: Technology, pads: Sequence[PadSpec],
+                 pad_size: int = 100, pad_spacing: int = 20, margin: int = 40):
+        if not pads:
+            raise ValueError("a pad ring needs at least one pad")
+        self.technology = technology
+        self.pads = list(pads)
+        self.pad_size = pad_size
+        self.pad_spacing = pad_spacing
+        self.margin = margin
+        self.placements: List[PadPlacement] = []
+
+    def build(self, core_width: int, core_height: int, name: str = "padring") -> Cell:
+        """Build the ring cell; the core cavity spans the returned cell's centre.
+
+        The cavity's lower-left corner in the ring's coordinates is available
+        as :attr:`core_origin` after building.
+        """
+        cell = Cell(name)
+        per_side = self._distribute()
+        pitch = self.pad_size + self.pad_spacing
+
+        # Ring dimensions: the longest side dictates the frame size.
+        needed = max(len(per_side["south"]), len(per_side["north"]),
+                     len(per_side["east"]), len(per_side["west"]))
+        inner_width = max(core_width + 2 * self.margin, needed * pitch + self.pad_spacing)
+        inner_height = max(core_height + 2 * self.margin, needed * pitch + self.pad_spacing)
+        frame = self.pad_size + 20   # pad depth plus tail clearance
+
+        self.core_origin = Point(frame + self.margin, frame + self.margin)
+        total_width = inner_width + 2 * frame
+        total_height = inner_height + 2 * frame
+        self.placements = []
+
+        # One layout cell per pad *kind*: every input pad is the same cell,
+        # every output pad is the same cell, and so on (regularity again).
+        pad_cells: Dict[str, Cell] = {}
+
+        def pad_cell(spec: PadSpec) -> Cell:
+            if spec.kind not in pad_cells:
+                pad_cells[spec.kind] = BondingPadCell(self.technology,
+                                                      kind=spec.kind).cell()
+            return pad_cells[spec.kind]
+
+        # South row (tails point north = +y, the pad's natural orientation).
+        for index, spec in enumerate(per_side["south"]):
+            x = frame + index * pitch + self.pad_spacing
+            instance = cell.place(pad_cell(spec), x, 0, name=f"pad_{spec.name}")
+            tail = instance.transform.apply(pad_cell(spec).port("core").position)
+            self._record(cell, spec, "south", tail)
+        # North row: mirrored vertically so tails point south.
+        for index, spec in enumerate(per_side["north"]):
+            x = frame + index * pitch + self.pad_spacing
+            pad = pad_cell(spec)
+            instance = cell.place(pad, x, total_height, Orientation.MY, name=f"pad_{spec.name}")
+            tail = instance.transform.apply(pad.port("core").position)
+            self._record(cell, spec, "north", tail)
+        # West column: rotated so tails point east.
+        for index, spec in enumerate(per_side["west"]):
+            y = frame + index * pitch + self.pad_spacing
+            pad = pad_cell(spec)
+            instance = cell.place(pad, 0, y + pad.width, Orientation.R270, name=f"pad_{spec.name}")
+            tail = instance.transform.apply(pad.port("core").position)
+            self._record(cell, spec, "west", tail)
+        # East column: rotated the other way so tails point west.
+        for index, spec in enumerate(per_side["east"]):
+            y = frame + index * pitch + self.pad_spacing
+            pad = pad_cell(spec)
+            instance = cell.place(pad, total_width, y, Orientation.R90, name=f"pad_{spec.name}")
+            tail = instance.transform.apply(pad.port("core").position)
+            self._record(cell, spec, "east", tail)
+
+        self.total_width = total_width
+        self.total_height = total_height
+        return cell
+
+    def _record(self, cell: Cell, spec: PadSpec, side: str, tail: Point) -> None:
+        placement = PadPlacement(spec, side, tail)
+        self.placements.append(placement)
+        cell.add_port(spec.name, tail, "metal",
+                      {"input": "input", "output": "output",
+                       "vdd": "supply", "gnd": "supply"}.get(spec.kind, "inout"))
+
+    def _distribute(self) -> Dict[str, List[PadSpec]]:
+        """Deal pads to the four sides round-robin, supplies first.
+
+        Supplies go first so VDD and GND land on different sides (reducing
+        supply-rail coupling), which was standard practice for the era.
+        """
+        ordered = sorted(self.pads, key=lambda spec: spec.kind not in ("vdd", "gnd"))
+        sides: Dict[str, List[PadSpec]] = {"south": [], "east": [], "north": [], "west": []}
+        order = ["south", "east", "north", "west"]
+        for index, spec in enumerate(ordered):
+            sides[order[index % 4]].append(spec)
+        return sides
+
+    def pad_count(self) -> int:
+        return len(self.pads)

@@ -1,0 +1,82 @@
+"""River routing: planar connection of two facing rows of terminals.
+
+River routing is the Mead-style answer to wiring management: if two cells
+are designed so their connection points appear in the same order along the
+facing edges, the connections can be made with non-crossing wires in a
+channel whose height depends only on the maximum lateral displacement.  The
+router takes the two terminal lists (already in order), checks
+planarity, and emits one metal wire per connection plus the channel height
+it needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.layout.cell import Cell
+
+
+class RiverRoutingError(ValueError):
+    """Raised when the terminal orderings would force wires to cross."""
+
+
+@dataclass
+class RiverRoute:
+    """The result of river routing one channel."""
+
+    wires: List[List[Point]]
+    channel_height: int
+    total_length: int
+
+
+def river_route(cell: Cell, bottom_terminals: Sequence[Point],
+                top_terminals: Sequence[Point], layer: str = "metal",
+                wire_width: int = 3, pitch: int = 7,
+                start_y: int = 0) -> RiverRoute:
+    """Route each bottom terminal to the same-index top terminal.
+
+    Terminals must be given left-to-right in the same connection order on
+    both edges (that is the planarity condition of river routing); the
+    function raises :class:`RiverRoutingError` otherwise.  Wires are drawn
+    into ``cell`` on ``layer``; each wire occupies its own horizontal track
+    so no two wires touch even when they jog in opposite directions.
+    """
+    if len(bottom_terminals) != len(top_terminals):
+        raise RiverRoutingError(
+            f"terminal count mismatch: {len(bottom_terminals)} vs {len(top_terminals)}"
+        )
+    if not bottom_terminals:
+        return RiverRoute([], 0, 0)
+
+    bottom_xs = [p.x for p in bottom_terminals]
+    top_xs = [p.x for p in top_terminals]
+    if bottom_xs != sorted(bottom_xs) or top_xs != sorted(top_xs):
+        raise RiverRoutingError("terminals must be ordered left to right on both edges")
+
+    count = len(bottom_terminals)
+    channel_height = (count + 1) * pitch
+    wires: List[List[Point]] = []
+    total_length = 0
+    for index, (bottom, top) in enumerate(zip(bottom_terminals, top_terminals)):
+        # Each connection jogs on its own track; straight connections may
+        # also use the track (keeps the router simple and obviously planar).
+        track_y = start_y + (index + 1) * pitch
+        if bottom.x == top.x:
+            points = [bottom, top]
+        else:
+            points = [
+                bottom,
+                Point(bottom.x, track_y),
+                Point(top.x, track_y),
+                top,
+            ]
+        cell.add_wire(layer, points, wire_width)
+        wires.append(points)
+        total_length += _length(points)
+    return RiverRoute(wires, channel_height, total_length)
+
+
+def _length(points: Sequence[Point]) -> int:
+    return sum(abs(a.x - b.x) + abs(a.y - b.y) for a, b in zip(points, points[1:]))

@@ -1,0 +1,189 @@
+"""NMOS logic gates: NAND, NOR and the pass transistor.
+
+NAND stacks its pulldowns in series under one depletion pullup; NOR places
+them in parallel.  Both follow the same rail/contact conventions as the
+inverter so they compose by abutment in the datapath and control generators.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.cells.inverter import _contact
+
+
+class NandCell(ParameterizedCell):
+    """An n-input NMOS NAND gate (series pulldown chain).
+
+    Because series pulldowns degrade the ratio, the pulldown width grows with
+    the number of inputs, as the Mead & Conway sizing discipline requires.
+    """
+
+    name_prefix = "nand"
+
+    inputs = Parameter(kind=int, default=2, minimum=2, maximum=4)
+    rail_width = Parameter(kind=int, default=4, minimum=3)
+
+    _width = 16
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        n = self.inputs
+        rail = self.rail_width
+        width = self._width
+        pd_width = 2 + 2 * n          # wider pulldowns to keep the ratio
+        pd_length = 2
+        pu_width = 4
+        pu_length = 8
+
+        diff_x1 = (width - pd_width) // 2
+        diff_x2 = diff_x1 + pd_width
+
+        y = rail
+        gate_bottoms = []
+        y += 4
+        for _ in range(n):
+            gate_bottoms.append(y)
+            y += pd_length + 3        # gate + poly spacing
+        y_out = y + 1
+        y_buried = y_out + 3
+        y_pu_gate = y_buried + 6
+        y_vdd = y_pu_gate + pu_length + 5
+        height = y_vdd + rail
+
+        cell.add_rect("metal", Rect(0, 0, width, rail))
+        cell.add_rect("metal", Rect(0, y_vdd, width, height))
+        cell.add_rect("diffusion", Rect(diff_x1, 2, diff_x2, y_vdd + rail // 2 + 1))
+
+        _contact(cell, Point(width // 2, rail // 2), "diffusion", "metal")
+        _contact(cell, Point(width // 2, y_vdd + rail // 2), "diffusion", "metal")
+
+        for index, gate_y in enumerate(gate_bottoms):
+            cell.add_rect("poly", Rect(0, gate_y, diff_x2 + 2, gate_y + pd_length))
+            cell.add_port(f"in{index}", Point(1, gate_y + pd_length // 2), "poly", "input")
+
+        cell.add_rect("buried", Rect(diff_x1 - 1, y_buried, diff_x2 + 1, y_pu_gate))
+        cell.add_rect("poly", Rect(diff_x1, y_buried, diff_x2, y_pu_gate))
+        cell.add_rect("poly", Rect(diff_x1 - 2, y_pu_gate, diff_x2 + 2, y_pu_gate + pu_length))
+        cell.add_rect("implant", Rect(diff_x1 - 4, y_pu_gate - 2, diff_x2 + 4, y_pu_gate + pu_length + 2))
+
+        _contact(cell, Point(width // 2, y_out), "diffusion", "metal")
+        cell.add_rect("metal", Rect(width // 2 - 2, y_out - 2, width, y_out + 2))
+
+        cell.add_port("out", Point(width - 1, y_out), "metal", "output")
+        cell.add_port("gnd", Point(width // 2, rail // 2), "metal", "supply")
+        cell.add_port("vdd", Point(width // 2, y_vdd + rail // 2), "metal", "supply")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return self.inputs + 1
+
+
+class NorCell(ParameterizedCell):
+    """An n-input NMOS NOR gate (parallel pulldowns).
+
+    NOR is the natural gate of the NMOS PLA: parallel pulldowns on a shared
+    output column.  Each input gets its own diffusion leg tied to ground;
+    the legs join at the output node under a single depletion pullup.
+    """
+
+    name_prefix = "nor"
+
+    inputs = Parameter(kind=int, default=2, minimum=2, maximum=8)
+    rail_width = Parameter(kind=int, default=4, minimum=3)
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        n = self.inputs
+        rail = self.rail_width
+        leg_pitch = 12
+        pd_width = 4
+        pd_length = 2
+        pu_width = 4
+        pu_length = 8
+        width = max(16, n * leg_pitch + 8)
+
+        y_gate = rail + 4
+        y_join = y_gate + pd_length + 4       # horizontal diffusion joining drains
+        y_buried = y_join + 4
+        y_pu_gate = y_buried + 6
+        y_vdd = y_pu_gate + pu_length + 5
+        height = y_vdd + rail
+
+        cell.add_rect("metal", Rect(0, 0, width, rail))
+        cell.add_rect("metal", Rect(0, y_vdd, width, height))
+
+        # One diffusion leg per input, each with its own ground contact.
+        for index in range(n):
+            leg_x1 = 4 + index * leg_pitch
+            leg_x2 = leg_x1 + pd_width
+            leg_cx = (leg_x1 + leg_x2) // 2
+            cell.add_rect("diffusion", Rect(leg_x1, 2, leg_x2, y_join + 4))
+            _contact(cell, Point(leg_cx, rail // 2), "diffusion", "metal")
+            cell.add_rect("poly", Rect(leg_x1 - 4, y_gate, leg_x2 + 2, y_gate + pd_length))
+            cell.add_port(f"in{index}", Point(leg_x1 - 3, y_gate + pd_length // 2), "poly", "input")
+
+        # Join the drains with a horizontal diffusion strap.
+        join_x2 = 4 + (n - 1) * leg_pitch + pd_width
+        cell.add_rect("diffusion", Rect(4, y_join, max(join_x2, 4 + pd_width), y_join + 4))
+
+        # Shared pullup column on the rightmost leg's x position.
+        pu_x1 = 4 + (n - 1) * leg_pitch
+        pu_x2 = pu_x1 + pu_width
+        pu_cx = (pu_x1 + pu_x2) // 2
+        cell.add_rect("diffusion", Rect(pu_x1, y_join, pu_x2, y_vdd + rail // 2 + 1))
+        cell.add_rect("buried", Rect(pu_x1 - 1, y_buried, pu_x2 + 1, y_pu_gate))
+        cell.add_rect("poly", Rect(pu_x1, y_buried, pu_x2, y_pu_gate))
+        cell.add_rect("poly", Rect(pu_x1 - 2, y_pu_gate, pu_x2 + 2, y_pu_gate + pu_length))
+        cell.add_rect("implant", Rect(pu_x1 - 4, y_pu_gate - 2, pu_x2 + 4, y_pu_gate + pu_length + 2))
+        _contact(cell, Point(pu_cx, y_vdd + rail // 2), "diffusion", "metal")
+
+        # Output contact on the join strap near the pullup.
+        out_y = y_join + 2
+        _contact(cell, Point(pu_cx, out_y), "diffusion", "metal")
+        cell.add_rect("metal", Rect(pu_cx - 2, out_y - 2, width, out_y + 2))
+
+        cell.add_port("out", Point(width - 1, out_y), "metal", "output")
+        cell.add_port("gnd", Point(6, rail // 2), "metal", "supply")
+        cell.add_port("vdd", Point(pu_cx, y_vdd + rail // 2), "metal", "supply")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return self.inputs + 1
+
+
+class PassTransistorCell(ParameterizedCell):
+    """A pass transistor: a horizontal diffusion wire gated by vertical poly.
+
+    The workhorse of NMOS steering logic, selectors and dynamic registers.
+    """
+
+    name_prefix = "pass"
+
+    width = Parameter(kind=int, default=2, minimum=2, doc="channel width (lambda)")
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        w = self.width
+        length = 2
+        diff_ext = 2
+        gate_ext = 2
+        total_width = 2 * diff_ext + length + 4
+        mid_y = gate_ext + w // 2
+        # Horizontal diffusion wire.
+        cell.add_rect("diffusion", Rect(0, gate_ext, total_width, gate_ext + w))
+        # Vertical poly gate crossing it in the middle.
+        gate_x1 = diff_ext + 2
+        cell.add_rect("poly", Rect(gate_x1, 0, gate_x1 + length, 2 * gate_ext + w))
+        cell.add_port("left", Point(1, mid_y), "diffusion", "inout")
+        cell.add_port("right", Point(total_width - 1, mid_y), "diffusion", "inout")
+        cell.add_port("gate", Point(gate_x1 + 1, 1), "poly", "input")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return 1

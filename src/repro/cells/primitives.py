@@ -1,0 +1,113 @@
+"""Primitive NMOS structures: contacts and transistors as tiny cells.
+
+Larger generators instantiate these rather than re-drawing the geometry, so
+regular structures (PLA planes, memory arrays) are arrays of a handful of
+distinct leaf cells — maximising the regularity index that hierarchy gives.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.builder import LayoutBuilder
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.technology.rules import RuleKind
+
+
+class ContactCell(ParameterizedCell):
+    """A contact between two conducting layers (metal-diffusion by default).
+
+    The cut size and surrounds come from the technology rules, so the cell is
+    legal at any lambda.
+    """
+
+    name_prefix = "contact"
+
+    bottom = Parameter(kind=str, default="diffusion", doc="lower conducting layer")
+    top = Parameter(kind=str, default="metal", doc="upper conducting layer")
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        builder = LayoutBuilder(cell, self.technology)
+        rules = self.technology.rules
+        cut = rules.value(RuleKind.EXACT_SIZE, builder._contact_layer(), default=2)
+        surround = max(
+            rules.value(RuleKind.MIN_ENCLOSURE, self.bottom, builder._contact_layer(), default=1),
+            rules.value(RuleKind.MIN_ENCLOSURE, self.top, builder._contact_layer(), default=1),
+        )
+        half = cut // 2 + surround
+        builder.move_to(half, half)
+        builder.contact(self.bottom, self.top)
+        cell.add_port("via", Point(half, half), self.top)
+        return cell
+
+
+class ButtingContactCell(ParameterizedCell):
+    """A butting contact: metal strapping poly and diffusion side by side.
+
+    Used where a gate must be tied to a source/drain node (e.g. depletion
+    pullups) without a buried-contact mask.
+    """
+
+    name_prefix = "butting"
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        tech = self.technology
+        rules = tech.rules
+        cut = rules.value(RuleKind.EXACT_SIZE, "contact", default=2)
+        surround = 1
+        # Diffusion half on the left, poly half on the right, one long metal
+        # strap with a single elongated cut over the junction.
+        width = 2 * (cut + 2 * surround)
+        height = cut + 2 * surround
+        half_width = width // 2
+        cell.add_rect("diffusion", Rect(0, 0, half_width + surround, height))
+        cell.add_rect("poly", Rect(half_width - surround, 0, width, height))
+        cell.add_rect("contact", Rect(surround, surround, width - surround, height - surround))
+        cell.add_rect("metal", Rect(0, 0, width, height))
+        cell.add_port("node", Point(half_width, height // 2), "metal")
+        return cell
+
+
+class TransistorCell(ParameterizedCell):
+    """A single NMOS transistor (enhancement or depletion).
+
+    ``width`` is the channel width in lambda and ``length`` the channel
+    length.  Depletion devices receive an implant overlay.  The channel
+    current direction is vertical: diffusion runs bottom-to-top and the poly
+    gate crosses horizontally.
+    """
+
+    name_prefix = "fet"
+
+    width = Parameter(kind=int, default=2, minimum=2, doc="channel width (lambda)")
+    length = Parameter(kind=int, default=2, minimum=2, doc="channel length (lambda)")
+    depletion = Parameter(kind=bool, default=False, doc="depletion-mode device")
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        tech = self.technology
+        rules = tech.rules
+        gate_ext = rules.value(RuleKind.MIN_EXTENSION, "poly", "diffusion", default=2)
+        diff_ext = rules.value(RuleKind.MIN_EXTENSION, "diffusion", "poly", default=2)
+        w, l = self.width, self.length
+        # Local origin: lower-left of the diffusion strip.
+        diff = Rect(gate_ext, 0, gate_ext + w, 2 * diff_ext + l)
+        gate = Rect(0, diff_ext, 2 * gate_ext + w, diff_ext + l)
+        cell.add_rect("diffusion", diff)
+        cell.add_rect("poly", gate)
+        if self.depletion and tech.has_layer("implant"):
+            implant_surround = rules.value(RuleKind.MIN_ENCLOSURE, "implant", "poly", default=2)
+            cell.add_rect("implant", gate.intersection(diff).expanded(implant_surround))
+        center_x = gate_ext + w // 2
+        cell.add_port("source", Point(center_x, 1), "diffusion")
+        cell.add_port("drain", Point(center_x, 2 * diff_ext + l - 1), "diffusion")
+        cell.add_port("gate", Point(1, diff_ext + l // 2), "poly")
+        return cell
+
+    @property
+    def ratio(self) -> float:
+        """The device's length/width ratio (its Z in Mead & Conway terms)."""
+        return self.length / self.width

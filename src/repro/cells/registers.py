@@ -1,0 +1,105 @@
+"""Dynamic shift-register and register-bit cells.
+
+The two-phase dynamic register is the storage element of the Mead & Conway
+datapath methodology: a pass transistor clocked by phi1 feeding an inverter
+(master), followed by a pass transistor clocked by phi2 and a second
+inverter (slave).  ``ShiftRegisterCell`` is one half-stage; ``RegisterBitCell``
+composes two half-stages into a full master-slave bit that can be arrayed
+into registers and shift-register chains.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.cells.gates import PassTransistorCell
+from repro.cells.inverter import InverterCell
+
+
+class ShiftRegisterCell(ParameterizedCell):
+    """Half of a dynamic register stage: pass transistor + ratio-8 inverter.
+
+    The inverter uses an 8:1 ratio because its input arrives through a pass
+    transistor (a degraded high level), per the NMOS sizing rules.
+    """
+
+    name_prefix = "srhalf"
+
+    clock_name = Parameter(kind=str, default="phi1")
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        pass_gate = PassTransistorCell(self.technology, width=2).cell()
+        inverter = InverterCell(self.technology, pulldown_width=4, ratio=8).cell()
+
+        # Place the pass transistor to the left of the inverter, aligned to
+        # the inverter's input height.
+        in_port = inverter.port("in")
+        pass_extent = pass_gate.bbox()
+        pass_y = in_port.position.y - pass_gate.port("right").position.y
+        pass_instance = cell.place(pass_gate, 0, pass_y, name="pass")
+        inverter_x = pass_extent.width + 2
+        inverter_instance = cell.place(inverter, inverter_x, 0, name="inv")
+
+        # Poly link from the pass transistor output to the inverter gate.
+        source = pass_instance.port_position("right")
+        target = inverter_instance.port_position("in")
+        cell.add_wire("diffusion", [source, Point(target.x - 2, source.y)], 2)
+        cell.add_rect("buried", Rect(target.x - 4, source.y - 2, target.x, source.y + 2))
+        cell.add_wire("poly", [Point(target.x - 2, source.y), target], 2)
+
+        cell.add_port("in", pass_instance.port_position("left"), "diffusion", "input")
+        cell.add_port("clock", pass_instance.port_position("gate"), "poly", "input")
+        cell.add_port("out", inverter_instance.port_position("out"), "metal", "output")
+        cell.add_port("gnd", inverter_instance.port_position("gnd"), "metal", "supply")
+        cell.add_port("vdd", inverter_instance.port_position("vdd"), "metal", "supply")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return 3
+
+
+class RegisterBitCell(ParameterizedCell):
+    """A full two-phase master-slave register bit (two half stages).
+
+    Exposes ``in``, ``out``, ``phi1``, ``phi2`` and the supply ports, and is
+    the unit cell arrayed by the datapath generator's register columns.
+    """
+
+    name_prefix = "regbit"
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        master = ShiftRegisterCell(self.technology, clock_name="phi1").cell()
+        slave = ShiftRegisterCell(self.technology, clock_name="phi2").cell()
+        gap = 4
+        master_instance = cell.place(master, 0, 0, name="master")
+        slave_x = master.width + gap
+        slave_instance = cell.place(slave, slave_x, 0, name="slave")
+
+        # Metal link from master output to slave input (via a contact down to
+        # the slave's input diffusion).
+        m_out = master_instance.port_position("out")
+        s_in = slave_instance.port_position("in")
+        cell.add_wire("metal", [m_out, Point(s_in.x - 2, m_out.y)], 3)
+        contact_center = Point(s_in.x - 2, s_in.y)
+        cell.add_rect("contact", Rect.from_center(contact_center, 2, 2))
+        cell.add_rect("metal", Rect.from_center(contact_center, 4, 4))
+        cell.add_rect("diffusion", Rect.from_center(contact_center, 4, 4))
+        if m_out.y != s_in.y:
+            cell.add_wire("metal", [Point(s_in.x - 2, m_out.y), contact_center], 3)
+
+        cell.add_port("in", master_instance.port_position("in"), "diffusion", "input")
+        cell.add_port("out", slave_instance.port_position("out"), "metal", "output")
+        cell.add_port("phi1", master_instance.port_position("clock"), "poly", "input")
+        cell.add_port("phi2", slave_instance.port_position("clock"), "poly", "input")
+        cell.add_port("gnd", master_instance.port_position("gnd"), "metal", "supply")
+        cell.add_port("vdd", master_instance.port_position("vdd"), "metal", "supply")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return 6

@@ -1,0 +1,21 @@
+"""Caltech Intermediate Form (CIF) backend.
+
+CIF is the manufacturing interface the paper points at (Sproull & Lyon,
+reference [8]): the textual form in which compiled layout is handed to mask
+making.  This package provides a writer that emits CIF 2.0 from a
+:class:`~repro.layout.library.Library` and a parser that reads CIF text back
+into a library, so the interchange can be verified by round-tripping
+(experiment E10).
+"""
+
+from repro.cif.writer import CifWriter, write_cif, cell_to_cif
+from repro.cif.parser import CifParser, parse_cif, CifSyntaxError
+
+__all__ = [
+    "CifWriter",
+    "write_cif",
+    "cell_to_cif",
+    "CifParser",
+    "parse_cif",
+    "CifSyntaxError",
+]

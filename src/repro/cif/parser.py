@@ -1,0 +1,296 @@
+"""CIF 2.0 parser.
+
+Parses the subset of CIF emitted by :mod:`repro.cif.writer` plus the common
+constructs found in era files: comments in parentheses, symbol definitions
+``DS``/``DF``, boxes, polygons, wires, round flashes, layer selection, calls
+with arbitrary ``T``/``R``/``MX``/``MY`` transform lists, the ``9`` symbol
+name and ``94`` label user extensions, and the terminating ``E``.
+
+The parser rebuilds a :class:`~repro.layout.library.Library`; geometry
+emitted with the writer's default scale convention round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Orientation, Transform
+from repro.layout.cell import Cell
+from repro.layout.library import Library
+from repro.layout.shapes import Shape
+from repro.technology.technology import Technology
+from repro.technology.nmos import NMOS
+
+
+class CifSyntaxError(ValueError):
+    """Raised when CIF text cannot be parsed."""
+
+
+_ROTATION_TO_ORIENTATION = {
+    (1, 0): Orientation.R0,
+    (0, 1): Orientation.R90,
+    (-1, 0): Orientation.R180,
+    (0, -1): Orientation.R270,
+}
+
+
+def _strip_comments(text: str) -> str:
+    """Remove parenthesised comments (CIF comments do not nest per the spec)."""
+    return re.sub(r"\([^)]*\)", " ", text)
+
+
+def _split_commands(text: str) -> List[str]:
+    """Split on semicolons; CIF commands are semicolon terminated."""
+    return [command.strip() for command in text.split(";")]
+
+
+def _ints(parts: List[str]) -> List[int]:
+    values = []
+    for part in parts:
+        try:
+            values.append(int(part))
+        except ValueError as exc:
+            raise CifSyntaxError(f"expected integer, got {part!r}") from exc
+    return values
+
+
+class CifParser:
+    """Parses CIF text into a library."""
+
+    def __init__(self, technology: Optional[Technology] = None):
+        self.technology = technology if technology is not None else NMOS
+
+    def parse(self, text: str, library_name: str = "parsed") -> Library:
+        library = Library(library_name, self.technology)
+        commands = _split_commands(_strip_comments(text))
+
+        cells_by_id: Dict[int, Cell] = {}
+        deferred_calls: List[Tuple[Cell, int, Transform]] = []
+        top_level_calls: List[Tuple[int, Transform]] = []
+
+        current_cell: Optional[Cell] = None
+        current_id: Optional[int] = None
+        current_layer: str = ""
+        anonymous_counter = 0
+        ended = False
+
+        for raw in commands:
+            if not raw or ended:
+                if raw and ended:
+                    break
+                continue
+            command, args = self._split_command(raw)
+
+            if command == "DS":
+                if current_cell is not None:
+                    raise CifSyntaxError("nested DS without DF")
+                values = _ints(args)
+                if not values:
+                    raise CifSyntaxError("DS requires a symbol number")
+                current_id = values[0]
+                anonymous_counter += 1
+                current_cell = Cell(f"symbol_{current_id}")
+                current_layer = ""
+            elif command == "DF":
+                if current_cell is None:
+                    raise CifSyntaxError("DF without matching DS")
+                cells_by_id[current_id] = current_cell
+                current_cell = None
+                current_id = None
+            elif command == "9":
+                if current_cell is None:
+                    raise CifSyntaxError("symbol name (9) outside a symbol definition")
+                if args:
+                    current_cell.name = args[0]
+            elif command == "94":
+                if current_cell is None:
+                    continue
+                if len(args) < 3:
+                    raise CifSyntaxError(f"malformed label command: {raw!r}")
+                label_text = args[0]
+                x, y = _ints(args[1:3])
+                layer_arg = args[3] if len(args) > 3 else ""
+                layer_name = self._resolve_layer(layer_arg) if layer_arg else ""
+                current_cell.add_label(label_text, Point(x, y), layer_name)
+            elif command == "L":
+                if not args:
+                    raise CifSyntaxError("L command requires a layer name")
+                current_layer = self._resolve_layer(args[0])
+            elif command == "B":
+                self._require_cell(current_cell, raw)
+                self._parse_box(current_cell, current_layer, args, raw)
+            elif command == "P":
+                self._require_cell(current_cell, raw)
+                values = _ints(args)
+                if len(values) < 6 or len(values) % 2:
+                    raise CifSyntaxError(f"malformed polygon: {raw!r}")
+                points = [Point(values[i], values[i + 1]) for i in range(0, len(values), 2)]
+                current_cell.add_shape(Shape(current_layer, Polygon(points)))
+            elif command == "W":
+                self._require_cell(current_cell, raw)
+                values = _ints(args)
+                if len(values) < 5 or (len(values) - 1) % 2:
+                    raise CifSyntaxError(f"malformed wire: {raw!r}")
+                width = values[0]
+                points = [Point(values[i], values[i + 1]) for i in range(1, len(values), 2)]
+                current_cell.add_shape(Shape(current_layer, Path(points, width)))
+            elif command == "R":
+                # Round flash: approximate as a square box of the same diameter.
+                self._require_cell(current_cell, raw)
+                values = _ints(args)
+                if len(values) != 3:
+                    raise CifSyntaxError(f"malformed round flash: {raw!r}")
+                diameter, cx, cy = values
+                half = diameter // 2
+                rect = Rect(cx - half, cy - half, cx - half + diameter, cy - half + diameter)
+                current_cell.add_shape(Shape(current_layer, rect))
+            elif command == "C":
+                call_id, transform = self._parse_call(args, raw)
+                if current_cell is not None:
+                    deferred_calls.append((current_cell, call_id, transform))
+                else:
+                    top_level_calls.append((call_id, transform))
+            elif command == "E":
+                ended = True
+            elif command == "DD":
+                values = _ints(args)
+                threshold = values[0] if values else 0
+                cells_by_id = {k: v for k, v in cells_by_id.items() if k < threshold}
+            elif command.isdigit():
+                # Unknown user extension: ignored per the CIF specification.
+                continue
+            else:
+                raise CifSyntaxError(f"unrecognised CIF command: {raw!r}")
+
+        if current_cell is not None:
+            raise CifSyntaxError("unterminated symbol definition (missing DF)")
+        if not ended:
+            raise CifSyntaxError("missing E command at end of CIF file")
+
+        self._link_calls(cells_by_id, deferred_calls)
+        for cell in cells_by_id.values():
+            if cell.name not in library:
+                library.add_cell(cell)
+
+        # Represent top-level calls by a synthetic wrapper only when a call
+        # carries a non-identity transform; a plain "C id;" just marks the top.
+        for call_id, transform in top_level_calls:
+            target = cells_by_id.get(call_id)
+            if target is None:
+                raise CifSyntaxError(f"top-level call to undefined symbol {call_id}")
+            if not transform.is_identity:
+                wrapper = library.new_cell(f"top_{target.name}")
+                wrapper.add_instance(target, transform)
+        return library
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _split_command(raw: str) -> Tuple[str, List[str]]:
+        parts = raw.replace(",", " ").split()
+        keyword = parts[0].upper()
+        if keyword[0].isdigit() and not keyword.isdigit():
+            # e.g. "94label" is not legal in our writer; treat as syntax error.
+            raise CifSyntaxError(f"malformed command: {raw!r}")
+        if keyword in ("DS", "DF", "DD"):
+            return keyword, parts[1:]
+        if keyword[0] in "BPWRLCE9":
+            # Single-letter commands may have the first argument glued on
+            # (e.g. "B4 6 0 0") per the CIF grammar; handle the common case.
+            if len(keyword) > 1 and keyword[0] in "BPWRLC" and keyword[1:].lstrip("-").isdigit():
+                return keyword[0], [keyword[1:]] + parts[1:]
+            return keyword, parts[1:]
+        return keyword, parts[1:]
+
+    @staticmethod
+    def _require_cell(cell: Optional[Cell], raw: str) -> None:
+        if cell is None:
+            raise CifSyntaxError(f"geometry outside a symbol definition: {raw!r}")
+
+    def _resolve_layer(self, cif_name: str) -> str:
+        layer = self.technology.layers.by_cif_name(cif_name)
+        if layer is not None:
+            return layer.name
+        return cif_name
+
+    def _parse_box(self, cell: Cell, layer: str, args: List[str], raw: str) -> None:
+        values = _ints(args)
+        if len(values) not in (4, 6):
+            raise CifSyntaxError(f"malformed box: {raw!r}")
+        width, height, cx, cy = values[:4]
+        if len(values) == 6:
+            direction = (values[4], values[5])
+            if direction not in ((1, 0), (0, 1), (-1, 0), (0, -1)):
+                raise CifSyntaxError(f"non-Manhattan box direction unsupported: {raw!r}")
+            if direction in ((0, 1), (0, -1)):
+                width, height = height, width
+        if width <= 0 or height <= 0:
+            raise CifSyntaxError(f"box with non-positive size: {raw!r}")
+        x1 = cx - width // 2
+        y1 = cy - height // 2
+        rect = Rect(x1, y1, x1 + width, y1 + height)
+        cell.add_shape(Shape(layer, rect))
+
+    def _parse_call(self, args: List[str], raw: str) -> Tuple[int, Transform]:
+        if not args:
+            raise CifSyntaxError(f"call without symbol number: {raw!r}")
+        try:
+            call_id = int(args[0])
+        except ValueError as exc:
+            raise CifSyntaxError(f"call with non-integer symbol number: {raw!r}") from exc
+        transform = Transform.identity()
+        index = 1
+        while index < len(args):
+            token = args[index].upper()
+            if token == "T":
+                values = _ints(args[index + 1:index + 3])
+                if len(values) != 2:
+                    raise CifSyntaxError(f"malformed translate in call: {raw!r}")
+                transform = transform.then(Transform.translate(values[0], values[1]))
+                index += 3
+            elif token == "R":
+                values = _ints(args[index + 1:index + 3])
+                if len(values) != 2:
+                    raise CifSyntaxError(f"malformed rotate in call: {raw!r}")
+                orientation = _ROTATION_TO_ORIENTATION.get((_sign(values[0]), _sign(values[1])))
+                if orientation is None:
+                    raise CifSyntaxError(f"non-Manhattan rotation unsupported: {raw!r}")
+                transform = transform.then(Transform(orientation, Point(0, 0)))
+                index += 3
+            elif token == "MX":
+                transform = transform.then(Transform.mirror_x())
+                index += 1
+            elif token == "MY":
+                transform = transform.then(Transform.mirror_y())
+                index += 1
+            else:
+                raise CifSyntaxError(f"unrecognised call transform {token!r} in {raw!r}")
+        return call_id, transform
+
+    @staticmethod
+    def _link_calls(cells_by_id: Dict[int, Cell],
+                    deferred_calls: List[Tuple[Cell, int, Transform]]) -> None:
+        for parent, call_id, transform in deferred_calls:
+            child = cells_by_id.get(call_id)
+            if child is None:
+                raise CifSyntaxError(f"call to undefined symbol {call_id}")
+            parent.add_instance(child, transform)
+
+
+def _sign(value: int) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def parse_cif(text: str, technology: Optional[Technology] = None,
+              library_name: str = "parsed") -> Library:
+    """Parse CIF text into a library (convenience wrapper)."""
+    return CifParser(technology).parse(text, library_name)

@@ -1,0 +1,12 @@
+"""Design-rule checking against lambda rules.
+
+The DRC closes the physical-description loop: whatever the generators and
+the assembler emit must obey the technology's lambda rules before it can be
+handed to manufacturing.  The checker works on the flattened layout and
+reports violations as structured records with locations, so the experiment
+harness can count them and tests can assert cleanliness of specific cells.
+"""
+
+from repro.drc.checker import DrcChecker, DrcViolation, check_cell
+
+__all__ = ["DrcChecker", "DrcViolation", "check_cell"]

@@ -1,0 +1,242 @@
+"""The design-rule checker.
+
+Checks performed (all in lambda, all on the flattened layout):
+
+* minimum width per layer (narrow side of every drawn rectangle, with
+  merging of abutting/overlapping same-layer rectangles so that a wide
+  region built from several thin rectangles is not flagged);
+* minimum same-layer and inter-layer spacing (between rectangles that are
+  not connected, i.e. do not touch);
+* minimum enclosure (every rectangle of the inner layer must be surrounded
+  by material of the outer layer by the rule distance);
+* exact-size rules (contact cuts).
+
+The checker is deliberately conservative and rectangle-based: that matches
+the 1979-80 era tools (and the geometry our generators emit), and keeps the
+runtime linear-ish in the number of rectangle pairs per neighbourhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.technology.rules import DesignRule, RuleKind
+from repro.technology.technology import Technology
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One design-rule violation, with enough context to locate it."""
+
+    rule_name: str
+    kind: RuleKind
+    layers: Tuple[str, ...]
+    required: int
+    actual: int
+    location: Rect
+
+    def __str__(self) -> str:
+        where = f"({self.location.x1},{self.location.y1})-({self.location.x2},{self.location.y2})"
+        return (
+            f"{self.rule_name}: {self.kind.value} on {'/'.join(self.layers)} "
+            f"requires {self.required}, found {self.actual} at {where}"
+        )
+
+
+class DrcChecker:
+    """Checks a cell hierarchy against a technology's rule set."""
+
+    def __init__(self, technology: Technology):
+        self.technology = technology
+
+    def check(self, cell: Cell) -> List[DrcViolation]:
+        """Flatten ``cell`` and return all violations found."""
+        flat = flatten_cell(cell)
+        rects_by_layer = flat.rects_by_layer()
+        merged = {layer: _merge_touching(rects) for layer, rects in rects_by_layer.items()}
+        violations: List[DrcViolation] = []
+        for rule in self.technology.rules:
+            if rule.kind is RuleKind.MIN_WIDTH:
+                violations.extend(self._check_width(rule, merged.get(rule.layers[0], [])))
+            elif rule.kind is RuleKind.MIN_SPACING:
+                violations.extend(self._check_spacing(
+                    rule,
+                    merged.get(rule.layers[0], []),
+                    merged.get(rule.layers[1], []),
+                    same_layer=rule.layers[0] == rule.layers[1],
+                ))
+            elif rule.kind is RuleKind.MIN_ENCLOSURE:
+                if self._is_implant(rule.layers[0]):
+                    # Implant surround is a device-formation rule (it applies
+                    # to depletion channels, not to every poly shape the
+                    # implant happens to touch); it is validated by the
+                    # extractor's device checks rather than geometrically.
+                    continue
+                violations.extend(self._check_enclosure(
+                    rule,
+                    rects_by_layer.get(rule.layers[0], []),
+                    rects_by_layer.get(rule.layers[1], []),
+                ))
+            elif rule.kind is RuleKind.EXACT_SIZE:
+                violations.extend(self._check_exact_size(
+                    rule, rects_by_layer.get(rule.layers[0], [])
+                ))
+            # MIN_EXTENSION and MIN_OVERLAP are device-formation rules; they
+            # are validated by the extractor, which knows which crossings are
+            # intended transistors.
+        return violations
+
+    # -- individual checks ----------------------------------------------------------
+
+    def _is_implant(self, layer_name: str) -> bool:
+        layer = self.technology.layers.get(layer_name)
+        if layer is None:
+            return False
+        return layer.purpose.name in ("IMPLANT", "WELL")
+
+    def _check_width(self, rule: DesignRule, rects: List[Rect]) -> List[DrcViolation]:
+        violations = []
+        for rect in rects:
+            narrow = min(rect.width, rect.height)
+            if narrow < rule.value:
+                violations.append(DrcViolation(
+                    rule.label, rule.kind, rule.layers, rule.value, narrow, rect
+                ))
+        return violations
+
+    def _check_spacing(self, rule: DesignRule, rects_a: List[Rect],
+                       rects_b: List[Rect], same_layer: bool) -> List[DrcViolation]:
+        violations = []
+        for index_a, rect_a in enumerate(rects_a):
+            candidates = rects_a[index_a + 1:] if same_layer else rects_b
+            for rect_b in candidates:
+                if rect_a.touches(rect_b):
+                    continue   # touching shapes are connected, not spaced
+                gap = rect_a.distance_to(rect_b)
+                if gap < rule.value:
+                    violations.append(DrcViolation(
+                        rule.label, rule.kind, rule.layers, rule.value, gap,
+                        rect_a.union(rect_b),
+                    ))
+        return violations
+
+    def _check_enclosure(self, rule: DesignRule, outer: List[Rect],
+                         inner: List[Rect]) -> List[DrcViolation]:
+        violations = []
+        for rect in inner:
+            # Conditional rule: enclosure is only required where the two
+            # layers actually interact (e.g. implant around *depletion*
+            # gates, poly around *poly* contacts).
+            if not any(out.overlaps(rect, strict=True) for out in outer):
+                continue
+            required = rect.expanded(rule.value)
+            if not any(out.contains_rect(required) for out in outer):
+                # Allow enclosure to be met by a union of outer rectangles.
+                if not _covered_by(required, outer):
+                    actual = _best_enclosure(rect, outer)
+                    violations.append(DrcViolation(
+                        rule.label, rule.kind, rule.layers, rule.value, actual, rect
+                    ))
+        return violations
+
+    def _check_exact_size(self, rule: DesignRule, rects: List[Rect]) -> List[DrcViolation]:
+        violations = []
+        for rect in rects:
+            if min(rect.width, rect.height) != rule.value:
+                violations.append(DrcViolation(
+                    rule.label, rule.kind, rule.layers, rule.value,
+                    min(rect.width, rect.height), rect
+                ))
+        return violations
+
+
+def check_cell(cell: Cell, technology: Technology) -> List[DrcViolation]:
+    """Convenience wrapper: check one cell against a technology."""
+    return DrcChecker(technology).check(cell)
+
+
+# -- geometry helpers ---------------------------------------------------------------------
+
+
+def _merge_touching(rects: Sequence[Rect]) -> List[Rect]:
+    """Merge overlapping/abutting same-layer rectangles into maximal regions.
+
+    The merge is approximate (union of bounding boxes of connected groups
+    only when the union is exactly covered by the group); otherwise the
+    original rectangles of the group are kept.  This is sufficient to avoid
+    false width errors from rail segments drawn as several pieces.
+    """
+    remaining = [r for r in rects if not r.is_degenerate]
+    if not remaining:
+        return []
+    # Union-find over touching rectangles.
+    parent = list(range(len(remaining)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        root_i, root_j = find(i), find(j)
+        if root_i != root_j:
+            parent[root_i] = root_j
+
+    for i in range(len(remaining)):
+        for j in range(i + 1, len(remaining)):
+            if remaining[i].touches(remaining[j]):
+                union(i, j)
+
+    groups: Dict[int, List[Rect]] = {}
+    for index, rect in enumerate(remaining):
+        groups.setdefault(find(index), []).append(rect)
+
+    merged: List[Rect] = []
+    for group in groups.values():
+        bounding = group[0]
+        for rect in group[1:]:
+            bounding = bounding.union(rect)
+        group_area = _union_area(group)
+        if group_area == bounding.area:
+            merged.append(bounding)
+        else:
+            merged.extend(group)
+    return merged
+
+
+def _union_area(rects: Sequence[Rect]) -> int:
+    from repro.geometry.rect import merged_area
+
+    return merged_area(rects)
+
+
+def _covered_by(target: Rect, covers: Sequence[Rect]) -> bool:
+    """True if ``target`` is entirely covered by the union of ``covers``."""
+    remaining = [target]
+    for cover in covers:
+        next_remaining: List[Rect] = []
+        for piece in remaining:
+            next_remaining.extend(piece.subtract(cover))
+        remaining = next_remaining
+        if not remaining:
+            return True
+    return not remaining
+
+
+def _best_enclosure(inner: Rect, outer: Sequence[Rect]) -> int:
+    """The largest enclosure margin any single outer rectangle achieves."""
+    best = -1
+    for rect in outer:
+        if not rect.contains_rect(inner):
+            continue
+        margin = min(
+            inner.x1 - rect.x1, rect.x2 - inner.x2,
+            inner.y1 - rect.y1, rect.y2 - inner.y2,
+        )
+        best = max(best, margin)
+    return best if best >= 0 else 0

@@ -1,0 +1,285 @@
+"""Layout-to-transistor-netlist extraction for the NMOS technology.
+
+The extraction model mirrors how the layout generators construct devices:
+
+* a transistor channel exists wherever poly crosses diffusion, unless the
+  crossing is covered by the buried-contact layer (which instead connects
+  the two layers ohmically);
+* the channel is a depletion device if the implant layer covers it;
+* diffusion is split by channels: the pieces on either side of a gate are
+  distinct electrical nodes (source/drain);
+* contact cuts connect every conducting layer present under them;
+* labels give nodes their names; ``vdd`` and ``gnd`` labels identify the
+  supplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.netlist.switch_sim import SwitchNetwork, Transistor, TransistorKind
+from repro.technology.technology import Technology
+
+
+@dataclass
+class ExtractedCircuit:
+    """The result of extraction: a switch network plus bookkeeping."""
+
+    cell_name: str
+    network: SwitchNetwork
+    node_names: List[str] = field(default_factory=list)
+    transistor_count: int = 0
+    enhancement_count: int = 0
+    depletion_count: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "nodes": len(self.node_names),
+            "transistors": self.transistor_count,
+            "enhancement": self.enhancement_count,
+            "depletion": self.depletion_count,
+        }
+
+
+class _NodeBuilder:
+    """Union-find over conducting rectangles to form electrical nodes."""
+
+    def __init__(self) -> None:
+        self.items: List[Tuple[str, Rect]] = []
+        self.parent: List[int] = []
+
+    def add(self, layer: str, rect: Rect) -> int:
+        index = len(self.items)
+        self.items.append((layer, rect))
+        self.parent.append(index)
+        return index
+
+    def find(self, index: int) -> int:
+        while self.parent[index] != index:
+            self.parent[index] = self.parent[self.parent[index]]
+            index = self.parent[index]
+        return index
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self.parent[root_a] = root_b
+
+    def groups(self) -> Dict[int, List[int]]:
+        result: Dict[int, List[int]] = {}
+        for index in range(len(self.items)):
+            result.setdefault(self.find(index), []).append(index)
+        return result
+
+
+class Extractor:
+    """Extract transistor netlists from NMOS layout."""
+
+    def __init__(self, technology: Technology):
+        self.technology = technology
+        self._diffusion_layers = [
+            name for name in ("diffusion", "active") if technology.has_layer(name)
+        ]
+
+    # -- main entry point ------------------------------------------------------------
+
+    def extract(self, cell: Cell) -> ExtractedCircuit:
+        flat = flatten_cell(cell)
+        rects = flat.rects_by_layer()
+        diffusion = [r for layer in self._diffusion_layers for r in rects.get(layer, [])]
+        poly = rects.get("poly", [])
+        metal = rects.get("metal", [])
+        contacts = rects.get("contact", [])
+        buried = rects.get("buried", [])
+        implant = rects.get("implant", [])
+
+        # 1. Find channels: poly x diffusion crossings not covered by buried.
+        channels: List[Rect] = []
+        for poly_rect in poly:
+            for diff_rect in diffusion:
+                overlap = poly_rect.intersection(diff_rect)
+                if overlap is None or overlap.is_degenerate:
+                    continue
+                if any(b.contains_rect(overlap) for b in buried):
+                    continue
+                channels.append(overlap)
+        channels = _dedupe(channels)
+
+        # 2. Split diffusion by the channels.
+        diffusion_pieces: List[Rect] = []
+        for diff_rect in diffusion:
+            pieces = [diff_rect]
+            for channel in channels:
+                next_pieces: List[Rect] = []
+                for piece in pieces:
+                    next_pieces.extend(piece.subtract(channel))
+                pieces = next_pieces
+            diffusion_pieces.extend(pieces)
+
+        # 3. Build electrical nodes over diffusion pieces, poly and metal.
+        builder = _NodeBuilder()
+        diff_ids = [builder.add("diffusion", r) for r in diffusion_pieces]
+        poly_ids = [builder.add("poly", r) for r in poly]
+        metal_ids = [builder.add("metal", r) for r in metal]
+
+        _connect_same_layer(builder, diff_ids)
+        _connect_same_layer(builder, poly_ids)
+        _connect_same_layer(builder, metal_ids)
+
+        # Contacts join every conducting layer they touch.
+        for cut in contacts:
+            touching = [
+                item_id for item_id in diff_ids + poly_ids + metal_ids
+                if builder.items[item_id][1].touches(cut)
+            ]
+            for first, second in zip(touching, touching[1:]):
+                builder.union(first, second)
+        # Buried contacts join poly and diffusion directly.
+        for buried_rect in buried:
+            touching = [
+                item_id for item_id in diff_ids + poly_ids
+                if builder.items[item_id][1].overlaps(buried_rect, strict=True)
+            ]
+            for first, second in zip(touching, touching[1:]):
+                builder.union(first, second)
+
+        # 4. Name the nodes using labels.
+        node_of_item: Dict[int, str] = {}
+        names: Dict[int, str] = {}
+        counter = 0
+        label_points = [(label.text, label.position, label.layer) for label in flat.labels]
+        groups = builder.groups()
+        for root, members in groups.items():
+            name: Optional[str] = None
+            for text, position, layer in label_points:
+                for member in members:
+                    member_layer, member_rect = builder.items[member]
+                    if layer and layer != member_layer and not (
+                        layer in self._diffusion_layers and member_layer == "diffusion"
+                    ):
+                        continue
+                    if member_rect.contains_point(position):
+                        lowered = text.lower()
+                        if lowered in ("vdd", "gnd"):
+                            name = lowered
+                        elif name is None:
+                            name = text
+                        break
+                if name in ("vdd", "gnd"):
+                    break
+            if name is None:
+                name = f"n{counter}"
+                counter += 1
+            names[root] = name
+        for root, members in groups.items():
+            for member in members:
+                node_of_item[member] = names[root]
+
+        # 5. Emit transistors.
+        network = SwitchNetwork(cell.name)
+        enhancement = depletion = 0
+        for index, channel in enumerate(channels):
+            gate_node = _node_containing(builder, poly_ids, node_of_item, channel)
+            terminals = _adjacent_nodes(builder, diff_ids, node_of_item, channel)
+            if gate_node is None or not terminals:
+                continue
+            source = terminals[0]
+            drain = terminals[1] if len(terminals) > 1 else terminals[0]
+            is_depletion = any(imp.contains_rect(channel) for imp in implant)
+            kind = TransistorKind.DEPLETION if is_depletion else TransistorKind.ENHANCEMENT
+            if is_depletion:
+                depletion += 1
+            else:
+                enhancement += 1
+            network.add_transistor(
+                gate_node, source, drain, kind,
+                width=max(2, min(channel.width, channel.height)),
+                length=max(2, min(channel.width, channel.height)),
+                name=f"m{index}",
+            )
+
+        # Declare ports: use the top cell's declared port directions where
+        # available (an input is clamped during simulation, an output is
+        # observed); labels without a declared direction become observable
+        # nodes only.
+        named_nodes = set(names.values())
+        declared = cell.ports
+        for port_name, port in declared.items():
+            if port_name not in named_nodes or port_name.lower() in ("vdd", "gnd"):
+                continue
+            if port.direction == "input":
+                network.add_input(port_name)
+            elif port.direction == "output":
+                network.add_output(port_name)
+            elif port.direction == "supply":
+                continue
+            else:
+                network.add_input(port_name)
+                network.add_output(port_name)
+        for label in flat.labels:
+            name = label.text
+            if name.lower() in ("vdd", "gnd") or name in declared:
+                continue
+            if name in named_nodes and name not in network.outputs:
+                network.add_output(name)
+
+        circuit = ExtractedCircuit(
+            cell_name=cell.name,
+            network=network,
+            node_names=sorted(set(names.values())),
+            transistor_count=len(network.transistors),
+            enhancement_count=enhancement,
+            depletion_count=depletion,
+        )
+        return circuit
+
+
+def extract_cell(cell: Cell, technology: Technology) -> ExtractedCircuit:
+    """Convenience wrapper: extract one cell."""
+    return Extractor(technology).extract(cell)
+
+
+# -- helpers ------------------------------------------------------------------------------
+
+
+def _dedupe(rects: Sequence[Rect]) -> List[Rect]:
+    seen: Set[Rect] = set()
+    result: List[Rect] = []
+    for rect in rects:
+        if rect not in seen:
+            seen.add(rect)
+            result.append(rect)
+    return result
+
+
+def _connect_same_layer(builder: _NodeBuilder, ids: List[int]) -> None:
+    for position, first in enumerate(ids):
+        for second in ids[position + 1:]:
+            if builder.items[first][1].touches(builder.items[second][1]):
+                builder.union(first, second)
+
+
+def _node_containing(builder: _NodeBuilder, candidate_ids: List[int],
+                     node_of_item: Dict[int, str], region: Rect) -> Optional[str]:
+    for item_id in candidate_ids:
+        if builder.items[item_id][1].contains_rect(region) or \
+                builder.items[item_id][1].overlaps(region, strict=True):
+            return node_of_item[item_id]
+    return None
+
+
+def _adjacent_nodes(builder: _NodeBuilder, diff_ids: List[int],
+                    node_of_item: Dict[int, str], channel: Rect) -> List[str]:
+    """Diffusion nodes that abut the channel region (source and drain)."""
+    found: List[str] = []
+    for item_id in diff_ids:
+        rect = builder.items[item_id][1]
+        if rect.touches(channel) and not rect.overlaps(channel, strict=True):
+            node = node_of_item[item_id]
+            if node not in found:
+                found.append(node)
+    return found

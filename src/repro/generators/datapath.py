@@ -1,0 +1,248 @@
+"""Bit-sliced datapath generator.
+
+The datapath compiler embodies the structural/physical unification the paper
+attributes to the Mead design style: a processor datapath is a rectangular
+array in which every *row* is one bit of the word and every *column* is one
+function unit (register, ALU, shifter, bus coupler).  Data flows
+horizontally in metal and control flows vertically in poly, so the whole
+array composes by abutment with essentially no routing — the wiring
+management argument of the paper, measured by experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.cells.registers import RegisterBitCell
+from repro.cells.gates import PassTransistorCell
+
+
+#: Known column kinds and the number of vertical control wires each needs.
+_COLUMN_KINDS = {
+    "register": 2,    # phi1, phi2
+    "adder": 3,       # carry control, invert, enable
+    "shifter": 2,     # shift left, shift right
+    "mux": 2,         # select, enable
+    "bus": 1,         # precharge / pull control
+    "constant": 1,    # emit constant
+}
+
+
+@dataclass(frozen=True)
+class DatapathColumn:
+    """One function-unit column of the datapath."""
+
+    kind: str
+    name: str
+    parameters: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _COLUMN_KINDS:
+            raise ValueError(
+                f"unknown datapath column kind {self.kind!r}; "
+                f"expected one of {sorted(_COLUMN_KINDS)}"
+            )
+
+    @property
+    def control_wires(self) -> int:
+        return _COLUMN_KINDS[self.kind]
+
+
+@dataclass
+class DatapathReport:
+    bits: int
+    columns: int
+    control_wires: int
+    transistors: int
+    width: int
+    height: int
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+class DatapathGenerator(ParameterizedCell):
+    """Generate a bit-sliced datapath from a column list and a word width."""
+
+    name_prefix = "datapath"
+
+    bits = Parameter(kind=int, default=8, minimum=1, maximum=64)
+
+    def __init__(self, technology, columns: Sequence[DatapathColumn], **parameters):
+        super().__init__(technology, **parameters)
+        if not columns:
+            raise ValueError("a datapath needs at least one column")
+        self.columns: List[DatapathColumn] = list(columns)
+        self.report: Optional[DatapathReport] = None
+
+    def cell_name(self) -> str:
+        kinds = "_".join(column.kind[0] for column in self.columns)
+        return f"datapath_{self.bits}b_{kinds}"
+
+    def _cache_key_extra(self) -> tuple:
+        return (self.cell_name(),
+                tuple((column.kind, column.name) for column in self.columns))
+
+    # -- layout -----------------------------------------------------------------------
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        bit_slices: List[Cell] = [self._column_bit_cell(column) for column in self.columns]
+        row_height = max(slice_cell.height for slice_cell in bit_slices)
+        total_transistors = 0
+
+        x_position = 0
+        column_x: List[int] = []
+        for column, slice_cell in zip(self.columns, bit_slices):
+            column_x.append(x_position)
+            for bit in range(self.bits):
+                cell.place(slice_cell, x_position, bit * row_height,
+                           name=f"{column.name}_b{bit}")
+            total_transistors += self.bits * self._slice_transistors(column)
+            # Vertical control wires in poly over the column.
+            for wire_index in range(column.control_wires):
+                wire_x = x_position + 2 + 3 * wire_index
+                cell.add_wire("poly", [Point(wire_x, 0),
+                                       Point(wire_x, self.bits * row_height)], 2)
+                cell.add_port(f"{column.name}_ctl{wire_index}", Point(wire_x, 0),
+                              "poly", "input")
+            x_position += slice_cell.width + 4
+
+        # Horizontal data buses in metal along each bit row (left/right edges).
+        total_width = x_position
+        for bit in range(self.bits):
+            y = bit * row_height + row_height // 2
+            cell.add_wire("metal", [Point(0, y), Point(total_width, y)], 3)
+            cell.add_port(f"bus_in{bit}", Point(0, y), "metal", "input")
+            cell.add_port(f"bus_out{bit}", Point(total_width - 1, y), "metal", "output")
+
+        bbox = cell.bbox()
+        self.report = DatapathReport(
+            bits=self.bits,
+            columns=len(self.columns),
+            control_wires=sum(column.control_wires for column in self.columns),
+            transistors=total_transistors,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        return cell
+
+    # -- per-column leaf cells -------------------------------------------------------------
+
+    def _column_bit_cell(self, column: DatapathColumn) -> Cell:
+        from repro.lang.parameters import shared_brick
+
+        if column.kind == "register":
+            return RegisterBitCell(self.technology).cell()
+        if column.kind == "adder":
+            return shared_brick(self.technology, "dp_adder_bit", self._adder_bit)
+        if column.kind == "shifter":
+            return shared_brick(self.technology, "dp_shifter_bit", self._shifter_bit)
+        if column.kind == "mux":
+            return shared_brick(self.technology, "dp_mux_bit", self._mux_bit)
+        if column.kind == "bus":
+            return shared_brick(self.technology, "dp_bus_bit", self._bus_bit)
+        if column.kind == "constant":
+            value = column.parameters.get("value", 0)
+            return shared_brick(self.technology, f"dp_const_{value}",
+                                lambda: self._constant_bit(value))
+        raise AssertionError(f"unhandled column kind {column.kind}")
+
+    def _slice_transistors(self, column: DatapathColumn) -> int:
+        return {
+            "register": 6,
+            "adder": 14,
+            "shifter": 3,
+            "mux": 4,
+            "bus": 2,
+            "constant": 1,
+        }[column.kind]
+
+    def _adder_bit(self) -> Cell:
+        """A carry-chain adder bit in the Mead & Conway style.
+
+        Represented as a compact block: carry propagate/generate gates on the
+        left, the sum gate on the right, carry running vertically in
+        diffusion so adjacent bits connect by abutment.
+        """
+        cell = Cell("dp_adder_bit")
+        width, height = 44, 45
+        cell.add_rect("metal", Rect(0, 0, width, 4))
+        cell.add_rect("metal", Rect(0, height - 4, width, height))
+        # Carry chain diffusion running the full height near the left edge.
+        cell.add_rect("diffusion", Rect(4, 0, 8, height))
+        # Propagate / generate gates.
+        for index, x in enumerate((12, 20, 28)):
+            cell.add_rect("diffusion", Rect(x, 6, x + 4, height - 10))
+            cell.add_rect("poly", Rect(x - 2, 14 + 4 * index, x + 6, 16 + 4 * index))
+            cell.add_rect("implant", Rect(x - 1, height - 16, x + 5, height - 10))
+            cell.add_rect("buried", Rect(x, height - 20, x + 4, height - 16))
+        # Sum stage.
+        cell.add_rect("diffusion", Rect(36, 6, 40, height - 10))
+        cell.add_rect("poly", Rect(34, 20, 42, 22))
+        cell.add_rect("implant", Rect(35, height - 16, 41, height - 10))
+        cell.add_rect("contact", Rect(37, 7, 39, 9))
+        cell.add_rect("metal", Rect(36, 6, 40, 10))
+        cell.add_port("a", Point(13, 1), "poly", "input")
+        cell.add_port("b", Point(21, 1), "poly", "input")
+        cell.add_port("carry_in", Point(6, 1), "diffusion", "input")
+        cell.add_port("carry_out", Point(6, height - 1), "diffusion", "output")
+        cell.add_port("sum", Point(38, 8), "metal", "output")
+        return cell
+
+    def _shifter_bit(self) -> Cell:
+        """A shift-array bit: pass transistors steering to the neighbour rows."""
+        pass_cell = PassTransistorCell(self.technology).cell()
+        cell = Cell("dp_shifter_bit")
+        cell.place(pass_cell, 0, 4, name="left")
+        cell.place(pass_cell, pass_cell.width + 2, 4, name="right")
+        width = 2 * pass_cell.width + 4
+        cell.add_rect("metal", Rect(0, 0, width, 3))
+        cell.add_port("in", Point(1, 5), "diffusion", "input")
+        cell.add_port("out", Point(width - 1, 5), "diffusion", "output")
+        return cell
+
+    def _mux_bit(self) -> Cell:
+        """A two-way selector bit built from two pass transistors."""
+        pass_cell = PassTransistorCell(self.technology).cell()
+        cell = Cell("dp_mux_bit")
+        cell.place(pass_cell, 0, 2, name="a_path")
+        cell.place(pass_cell, 0, pass_cell.height + 6, name="b_path")
+        width = pass_cell.width
+        join_x = width - 1
+        cell.add_wire("diffusion",
+                      [Point(join_x, 4), Point(join_x, pass_cell.height + 8)], 2)
+        cell.add_port("a", Point(1, 4), "diffusion", "input")
+        cell.add_port("b", Point(1, pass_cell.height + 8), "diffusion", "input")
+        cell.add_port("out", Point(join_x, pass_cell.height + 8), "diffusion", "output")
+        return cell
+
+    def _bus_bit(self) -> Cell:
+        """A bus coupler: a pass transistor onto the shared metal bus."""
+        pass_cell = PassTransistorCell(self.technology).cell()
+        cell = Cell("dp_bus_bit")
+        cell.place(pass_cell, 0, 4, name="coupler")
+        cell.add_rect("metal", Rect(0, 0, pass_cell.width, 3))
+        cell.add_port("bus", Point(1, 1), "metal", "inout")
+        cell.add_port("node", Point(pass_cell.width - 1, 6), "diffusion", "inout")
+        return cell
+
+    def _constant_bit(self, value: int) -> Cell:
+        """A constant bit: a pullup (1) or a ground tie (0)."""
+        cell = Cell(f"dp_const_{value}")
+        cell.add_rect("metal", Rect(0, 0, 12, 3))
+        if value:
+            cell.add_rect("diffusion", Rect(4, 3, 8, 14))
+            cell.add_rect("poly", Rect(3, 6, 9, 8))
+            cell.add_rect("implant", Rect(2, 5, 10, 9))
+        else:
+            cell.add_rect("diffusion", Rect(4, 3, 8, 10))
+            cell.add_rect("contact", Rect(5, 4, 7, 6))
+        cell.add_port("out", Point(6, 12), "diffusion", "output")
+        return cell

@@ -1,0 +1,115 @@
+"""Address decoder generator (a NOR decoder, one select line per word).
+
+The decoder is structurally the AND plane of a PLA with every minterm
+present: ``2**address_bits`` rows, each with transistors on the complement
+pattern of its address.  Memories (ROM, RAM) instantiate it for word-line
+selection; it is also a useful regular structure on its own for experiment
+E6 (hierarchy leverage of a full binary tree of select lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+
+
+@dataclass
+class DecoderReport:
+    address_bits: int
+    select_lines: int
+    transistors: int
+    width: int
+    height: int
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+class DecoderGenerator(ParameterizedCell):
+    """Generate a ``2**n``-way NOR address decoder."""
+
+    name_prefix = "decoder"
+
+    address_bits = Parameter(kind=int, default=3, minimum=1, maximum=10)
+    pitch = Parameter(kind=int, default=8, minimum=6)
+
+    def __init__(self, technology, **parameters):
+        super().__init__(technology, **parameters)
+        self.report: Optional[DecoderReport] = None
+
+    def build(self) -> Cell:
+        n = self.address_bits
+        pitch = self.pitch
+        words = 2 ** n
+        cell = Cell(self.cell_name())
+
+        from repro.lang.parameters import shared_brick
+
+        empty = shared_brick(self.technology, f"dec_xp_o_{pitch}",
+                             lambda: self._crosspoint(False))
+        connected = shared_brick(self.technology, f"dec_xp_x_{pitch}",
+                                 lambda: self._crosspoint(True))
+        pullup = shared_brick(self.technology, f"dec_pullup_{pitch}", self._pullup)
+
+        transistors = 0
+        for word in range(words):
+            row_y = word * pitch
+            cell.place(pullup, 0, row_y, name=f"pullup_{word}")
+            for bit in range(n):
+                bit_value = (word >> (n - 1 - bit)) & 1
+                for polarity, column_offset in ((1, 0), (0, 1)):
+                    x = pitch + (2 * bit + column_offset) * pitch
+                    # Select line goes low unless this row's address matches:
+                    # place a pulldown on the line of the *wrong* polarity.
+                    is_connected = polarity != bit_value
+                    chosen = connected if is_connected else empty
+                    if is_connected:
+                        transistors += 1
+                    cell.place(chosen, x, row_y, name=f"xp_{word}_{bit}_{polarity}")
+            # Word-line (select) port on the right edge.
+            cell.add_port(f"select{word}",
+                          Point(pitch + 2 * n * pitch - 1, row_y + pitch // 2),
+                          "metal", "output")
+
+        # Address input ports along the bottom (true column of each bit).
+        for bit in range(n):
+            x = pitch + 2 * bit * pitch + pitch // 2
+            cell.add_port(f"addr{bit}", Point(x, 0), "poly", "input")
+
+        bbox = cell.bbox()
+        self.report = DecoderReport(
+            address_bits=n,
+            select_lines=words,
+            transistors=transistors + words,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        return cell
+
+    def _crosspoint(self, connected: bool) -> Cell:
+        pitch = self.pitch
+        suffix = "x" if connected else "o"
+        cell = Cell(f"dec_xp_{suffix}_{pitch}")
+        cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, pitch))
+        cell.add_rect("metal", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        if connected:
+            cell.add_rect("diffusion",
+                          Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
+            cell.add_rect("contact",
+                          Rect(pitch // 2 + 1, pitch // 2 - 1, pitch // 2 + 3, pitch // 2 + 1))
+        return cell
+
+    def _pullup(self) -> Cell:
+        pitch = self.pitch
+        cell = Cell(f"dec_pullup_{pitch}")
+        cell.add_rect("diffusion", Rect(2, pitch // 2 - 2, pitch - 1, pitch // 2 + 2))
+        cell.add_rect("poly", Rect(3, pitch // 2 - 3, 7, pitch // 2 + 3))
+        cell.add_rect("implant", Rect(2, pitch // 2 - 4, 8, pitch // 2 + 4))
+        cell.add_rect("metal", Rect(pitch - 3, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        return cell

@@ -1,0 +1,122 @@
+"""FSM-to-layout compiler: state register + next-state/output PLA.
+
+This is the smallest complete example of the behavioural definition of
+silicon compilation: a symbolic finite-state machine (behaviour) is encoded,
+minimised and realised as a PLA with a register column feeding the state
+bits back — compiled to layout with no manual physical design at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.point import Point
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.cells.registers import RegisterBitCell
+from repro.generators.pla import PlaGenerator
+from repro.logic.fsm import FSM, StateEncoding, encode_fsm
+
+
+@dataclass
+class FsmLayoutReport:
+    states: int
+    state_bits: int
+    pla_terms: int
+    transistors: int
+    width: int
+    height: int
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+class FsmLayoutGenerator(ParameterizedCell):
+    """Compile a symbolic FSM into a PLA-plus-register layout block."""
+
+    name_prefix = "fsm"
+
+    encoding = Parameter(kind=str, default="binary",
+                         choices=["binary", "gray", "one_hot"])
+    minimize_method = Parameter(kind=str, default="exact",
+                                choices=["exact", "heuristic", "none"])
+
+    def __init__(self, technology, fsm: FSM, **parameters):
+        super().__init__(technology, **parameters)
+        self.fsm = fsm
+        self.encoded = encode_fsm(fsm, StateEncoding(self.encoding))
+        self.report: Optional[FsmLayoutReport] = None
+
+    def cell_name(self) -> str:
+        return f"fsm_{self.fsm.name}_{self.encoding}"
+
+    def _cache_key_extra(self) -> tuple:
+        return (
+            self.cell_name(),
+            tuple((cube.inputs, cube.outputs) for cube in self.encoded.cover.cubes),
+        )
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+
+        pla_generator = PlaGenerator(
+            self.technology,
+            self.encoded.cover,
+            name=f"{self.fsm.name}_pla",
+            minimize_cover=self.minimize_method != "none",
+            minimize_method=self.minimize_method if self.minimize_method != "none" else "exact",
+        )
+        pla_cell = pla_generator.cell()
+        pla_report = pla_generator.report
+
+        register_bit = RegisterBitCell(self.technology).cell()
+
+        # PLA on the left; state register column on the right, one bit per
+        # state variable, feeding the next-state outputs back to the
+        # present-state inputs.
+        cell.place(pla_cell, 0, 0, name="pla")
+        register_x = pla_cell.width + 10
+        for index in range(self.encoded.num_state_bits):
+            instance = cell.place(register_bit, register_x, index * register_bit.height,
+                                  name=f"state_{index}")
+            # Feedback wiring: metal from the PLA's next-state output port to
+            # the register input, and from the register output back to the
+            # present-state input port.
+            next_name = f"{self.fsm.name}_n{index}"
+            present_name = f"{self.fsm.name}_s{index}"
+            if pla_cell.has_port(next_name):
+                source = pla_cell.port(next_name).position
+                target = instance.transform.apply(register_bit.port("in").position)
+                cell.add_wire("metal", [source, Point(source.x, target.y), target], 3)
+            if pla_cell.has_port(present_name):
+                back_target = pla_cell.port(present_name).position
+                back_source = instance.transform.apply(register_bit.port("out").position)
+                cell.add_wire("metal",
+                              [back_source, Point(back_source.x, back_target.y - 4),
+                               Point(back_target.x, back_target.y - 4), back_target], 3)
+
+        # Re-export the machine's primary inputs and outputs.
+        for input_name in self.fsm.inputs:
+            if pla_cell.has_port(input_name):
+                port = pla_cell.port(input_name)
+                cell.add_port(input_name, port.position, port.layer, "input")
+        for output_name in self.fsm.outputs:
+            if pla_cell.has_port(output_name):
+                port = pla_cell.port(output_name)
+                cell.add_port(output_name, port.position, port.layer, "output")
+        cell.add_port("phi1", Point(register_x, 0), "poly", "input")
+        cell.add_port("phi2", Point(register_x + 4, 0), "poly", "input")
+
+        bbox = cell.bbox()
+        self.report = FsmLayoutReport(
+            states=self.fsm.num_states,
+            state_bits=self.encoded.num_state_bits,
+            pla_terms=pla_report.terms if pla_report else 0,
+            transistors=(pla_report.total_transistors if pla_report else 0)
+            + 6 * self.encoded.num_state_bits,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        return cell

@@ -1,0 +1,298 @@
+"""The PLA generator.
+
+The programmed logic array is the archetypal regular structure of the
+silicon-compilation argument: a fixed floorplan (input drivers, AND plane,
+OR plane, output buffers) whose *personality* — which crosspoints carry a
+transistor — is computed from a logic cover.  The same program therefore
+produces a correct layout for any set of logic equations, and its area is a
+simple function of (inputs, product terms, outputs), which experiment E3
+sweeps and experiment E4 ties back to logic minimisation.
+
+Electrically this is the classic NMOS NOR-NOR PLA: input drivers produce the
+true and complement of every input on vertical poly columns; each product
+term is a horizontal row wire pulled up by a depletion load and pulled down
+by a crosspoint transistor wherever the term must be false; the OR plane
+works the same way with terms as inputs and (inverted) outputs as rows, and
+the output buffers restore polarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Union
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.logic.cube import Cover
+from repro.logic.minimize import minimize
+from repro.logic.truth_table import TruthTable
+from repro.technology.technology import Technology
+
+
+class PlaStyle(Enum):
+    """Crosspoint pitch styles (an area/robustness trade-off)."""
+
+    COMPACT = "compact"    # 8 lambda pitch
+    RELAXED = "relaxed"    # 10 lambda pitch
+
+
+_PITCH_OF_STYLE = {PlaStyle.COMPACT: 8, PlaStyle.RELAXED: 10}
+
+
+@dataclass
+class PlaReport:
+    """Size accounting produced alongside the layout."""
+
+    inputs: int
+    outputs: int
+    terms: int
+    crosspoint_transistors: int
+    pullup_transistors: int
+    driver_transistors: int
+    width: int
+    height: int
+
+    @property
+    def total_transistors(self) -> int:
+        return self.crosspoint_transistors + self.pullup_transistors + self.driver_transistors
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+class PlaGenerator(ParameterizedCell):
+    """Generate an NMOS PLA from a :class:`Cover` or :class:`TruthTable`.
+
+    Parameters
+    ----------
+    minimize_cover:
+        Run the logic minimiser before building (the E4 ablation switch).
+    style:
+        Crosspoint pitch style.
+    """
+
+    name_prefix = "pla"
+
+    minimize_cover = Parameter(kind=bool, default=True)
+    minimize_method = Parameter(kind=str, default="exact",
+                                choices=["exact", "heuristic", "none"])
+    style = Parameter(kind=str, default="compact", choices=["compact", "relaxed"])
+
+    def __init__(self, technology: Technology, source: Union[Cover, TruthTable],
+                 name: Optional[str] = None, **parameters):
+        super().__init__(technology, **parameters)
+        if isinstance(source, TruthTable):
+            self._cover = source.to_cover()
+        else:
+            self._cover = source.copy()
+        self._explicit_name = name
+        self.report: Optional[PlaReport] = None
+
+    # -- naming -----------------------------------------------------------------
+
+    def cell_name(self) -> str:
+        if self._explicit_name:
+            return self._explicit_name
+        return (
+            f"pla_i{self._cover.num_inputs}_o{self._cover.num_outputs}"
+            f"_p{self._cover.num_terms}"
+        )
+
+    def _cache_key_extra(self) -> tuple:
+        return (
+            self.cell_name(),
+            tuple((cube.inputs, cube.outputs) for cube in self._cover.cubes),
+            tuple(self._cover.input_names),
+            tuple(self._cover.output_names),
+        )
+
+    # -- the personality --------------------------------------------------------
+
+    def personality(self) -> Cover:
+        """The cover actually laid out (after optional minimisation)."""
+        if self.minimize_cover and self.minimize_method != "none":
+            return minimize(self._cover, self.minimize_method)
+        return self._cover.copy()
+
+    # -- layout -------------------------------------------------------------------
+
+    def build(self) -> Cell:
+        cover = self.personality()
+        pitch = _PITCH_OF_STYLE[PlaStyle(self.style)]
+        num_inputs = cover.num_inputs
+        num_outputs = cover.num_outputs
+        num_terms = max(1, cover.num_terms)
+
+        cell = Cell(self.cell_name())
+
+        # Sub-cells: the distinct crosspoint/periphery bricks, shared across
+        # all PLA instances built in the same technology.
+        from repro.lang.parameters import shared_brick
+
+        and_empty = shared_brick(self.technology, f"pla_and_o_{pitch}",
+                                 lambda: self._and_crosspoint(False, pitch))
+        and_connected = shared_brick(self.technology, f"pla_and_x_{pitch}",
+                                     lambda: self._and_crosspoint(True, pitch))
+        or_empty = shared_brick(self.technology, f"pla_or_o_{pitch}",
+                                lambda: self._or_crosspoint(False, pitch))
+        or_connected = shared_brick(self.technology, f"pla_or_x_{pitch}",
+                                    lambda: self._or_crosspoint(True, pitch))
+        driver = shared_brick(self.technology, f"pla_driver_{pitch}",
+                              lambda: self._input_driver(pitch))
+        pullup = shared_brick(self.technology, f"pla_pullup_{pitch}",
+                              lambda: self._term_pullup(pitch))
+        output_buffer = shared_brick(self.technology, f"pla_outbuf_{pitch}",
+                                     lambda: self._output_buffer(pitch))
+
+        driver_height = driver.height
+        pullup_width = pullup.width
+
+        and_x0 = pullup_width
+        and_y0 = driver_height
+        and_width = 2 * num_inputs * pitch
+        or_x0 = and_x0 + and_width + pitch  # one pitch of separation
+
+        crosspoint_transistors = 0
+
+        # AND plane and OR plane rows (one per product term).
+        for term_index, cube in enumerate(cover.cubes):
+            row_y = and_y0 + term_index * pitch
+            cell.place(pullup, 0, row_y, name=f"pullup_{term_index}")
+            for input_index in range(num_inputs):
+                literal = cube.inputs[input_index]
+                # Column order: true line then complement line for each input.
+                for polarity, column_offset in (("1", 0), ("0", 1)):
+                    x = and_x0 + (2 * input_index + column_offset) * pitch
+                    # A '1' literal means the term must go low when the input
+                    # is 0, i.e. a transistor on the *complement* column; a
+                    # '0' literal puts the transistor on the true column.
+                    connected = (literal == "1" and polarity == "0") or (
+                        literal == "0" and polarity == "1"
+                    )
+                    chosen = and_connected if connected else and_empty
+                    if connected:
+                        crosspoint_transistors += 1
+                    cell.place(chosen, x, row_y,
+                               name=f"and_{term_index}_{input_index}_{polarity}")
+            for output_index in range(num_outputs):
+                x = or_x0 + output_index * pitch
+                connected = cube.outputs[output_index] == "1"
+                chosen = or_connected if connected else or_empty
+                if connected:
+                    crosspoint_transistors += 1
+                cell.place(chosen, x, row_y, name=f"or_{term_index}_{output_index}")
+
+        # Input drivers along the bottom of the AND plane.
+        for input_index in range(num_inputs):
+            x = and_x0 + 2 * input_index * pitch
+            instance = cell.place(driver, x, 0, name=f"driver_{input_index}")
+            cell.add_port(cover.input_names[input_index],
+                          instance.transform.apply(driver.port("in").position),
+                          "poly", "input")
+
+        # Output buffers along the bottom of the OR plane.
+        for output_index in range(num_outputs):
+            x = or_x0 + output_index * pitch
+            instance = cell.place(output_buffer, x, 0, name=f"outbuf_{output_index}")
+            cell.add_port(cover.output_names[output_index],
+                          instance.transform.apply(output_buffer.port("out").position),
+                          "metal", "output")
+
+        # Supply rails along the left edge.
+        total_height = and_y0 + num_terms * pitch + pitch
+        cell.add_rect("metal", Rect(0, and_y0 - pitch // 2, 3, total_height))
+        cell.add_port("vdd", Point(1, total_height - 1), "metal", "supply")
+        cell.add_port("gnd", Point(1, and_y0 - pitch // 2 + 1), "metal", "supply")
+
+        bbox = cell.bbox()
+        self.report = PlaReport(
+            inputs=num_inputs,
+            outputs=num_outputs,
+            terms=cover.num_terms,
+            crosspoint_transistors=crosspoint_transistors,
+            pullup_transistors=cover.num_terms + num_outputs,
+            driver_transistors=4 * num_inputs + 2 * num_outputs,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        self._personality_cache = cover
+        return cell
+
+    # -- functional model -------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate the PLA's logical function (for verification against RTL)."""
+        return self.personality().evaluate(assignment)
+
+    # -- brick cells -----------------------------------------------------------------------
+
+    def _and_crosspoint(self, connected: bool, pitch: int = 8) -> Cell:
+        suffix = "x" if connected else "o"
+        cell = Cell(f"pla_and_{suffix}_{pitch}")
+        # Vertical poly input column.
+        cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, pitch))
+        # Horizontal metal term row.
+        cell.add_rect("metal", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        if connected:
+            # Pulldown transistor: diffusion under the poly column, strapped
+            # to the term row by a contact.
+            cell.add_rect("diffusion", Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
+            cut = Rect(pitch // 2 + 1, pitch // 2 - 1, pitch // 2 + 3, pitch // 2 + 1)
+            cell.add_rect("contact", cut)
+        return cell
+
+    def _or_crosspoint(self, connected: bool, pitch: int = 8) -> Cell:
+        suffix = "x" if connected else "o"
+        cell = Cell(f"pla_or_{suffix}_{pitch}")
+        # Vertical metal output column.
+        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, pitch))
+        # Horizontal poly term row (the term drives OR-plane gates).
+        cell.add_rect("poly", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 1))
+        if connected:
+            cell.add_rect("diffusion", Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
+            cut = Rect(pitch // 2 - 3, pitch // 2 - 1, pitch // 2 - 1, pitch // 2 + 1)
+            cell.add_rect("contact", cut)
+        return cell
+
+    def _input_driver(self, pitch: int) -> Cell:
+        """True/complement driver: a two-inverter column feeding two poly lines."""
+        cell = Cell(f"pla_driver_{pitch}")
+        height = 3 * pitch
+        # Input poly stub at the bottom.
+        cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, 4))
+        # Two inverters represented by their active regions.
+        for column in range(2):
+            x = column * pitch + pitch // 2
+            cell.add_rect("diffusion", Rect(x - 2, 4, x + 2, height - 4))
+            cell.add_rect("poly", Rect(x - 3, pitch, x + 3, pitch + 2))
+            cell.add_rect("implant", Rect(x - 3, 2 * pitch - 1, x + 3, 2 * pitch + 3))
+            cell.add_rect("poly", Rect(x - 1, height - 6, x + 1, height))
+        cell.add_port("in", Point(pitch // 2, 1), "poly", "input")
+        return cell
+
+    def _term_pullup(self, pitch: int) -> Cell:
+        """Depletion pullup for one term row."""
+        cell = Cell(f"pla_pullup_{pitch}")
+        width = pitch
+        cell.add_rect("diffusion", Rect(2, pitch // 2 - 2, width - 1, pitch // 2 + 2))
+        cell.add_rect("poly", Rect(4, pitch // 2 - 3, 8, pitch // 2 + 3))
+        cell.add_rect("implant", Rect(3, pitch // 2 - 4, 9, pitch // 2 + 4))
+        cell.add_rect("metal", Rect(width - 3, pitch // 2 - 1, width, pitch // 2 + 2))
+        cell.add_rect("contact", Rect(width - 3, pitch // 2 - 1, width - 1, pitch // 2 + 1))
+        return cell
+
+    def _output_buffer(self, pitch: int) -> Cell:
+        """Inverting output buffer at the foot of each OR-plane column."""
+        cell = Cell(f"pla_outbuf_{pitch}")
+        height = 3 * pitch
+        x = pitch // 2
+        cell.add_rect("metal", Rect(x - 1, 4, x + 2, height))
+        cell.add_rect("diffusion", Rect(x - 2, 6, x + 2, height - 6))
+        cell.add_rect("poly", Rect(x - 3, pitch, x + 3, pitch + 2))
+        cell.add_rect("implant", Rect(x - 3, 2 * pitch - 1, x + 3, 2 * pitch + 3))
+        cell.add_port("out", Point(x, 2), "metal", "output")
+        return cell

@@ -1,0 +1,172 @@
+"""Static RAM generator: a decoder plus an array of six-transistor cells.
+
+The RAM demonstrates the same point as the ROM — a memory is a program
+output — but with a non-trivial leaf cell (the cross-coupled static cell)
+whose replication dominates the array, giving the highest regularity index
+of any block in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.generators.decoder import DecoderGenerator
+
+
+class SramBitCell(ParameterizedCell):
+    """The six-transistor NMOS static cell (two cross-coupled inverters plus
+    two pass transistors to the bit lines)."""
+
+    name_prefix = "srambit"
+
+    pitch = Parameter(kind=int, default=24, minimum=20)
+
+    def build(self) -> Cell:
+        p = self.pitch
+        cell = Cell(self.cell_name())
+        mid = p // 2
+        # Two cross-coupled inverter columns.
+        for column, x in enumerate((p // 4, 3 * p // 4)):
+            cell.add_rect("diffusion", Rect(x - 2, 3, x + 2, p - 3))
+            cell.add_rect("poly", Rect(x - 4, mid - 1, x + 4, mid + 1))
+            cell.add_rect("implant", Rect(x - 3, p - 9, x + 3, p - 3))
+            cell.add_rect("buried", Rect(x - 3, mid + 2, x + 3, mid + 6))
+        # Cross-coupling poly links.
+        cell.add_rect("poly", Rect(p // 4, mid - 1, 3 * p // 4, mid + 1))
+        # Word line: horizontal poly across the top of the access devices.
+        cell.add_rect("poly", Rect(0, 1, p, 3))
+        # Bit lines: vertical metal on both edges.
+        cell.add_rect("metal", Rect(1, 0, 4, p))
+        cell.add_rect("metal", Rect(p - 4, 0, p - 1, p))
+        # Access pass transistors: diffusion stubs from the bit lines.
+        cell.add_rect("diffusion", Rect(2, 2, p // 4 + 2, 4))
+        cell.add_rect("diffusion", Rect(3 * p // 4 - 2, 2, p - 2, 4))
+        # Supplies: metal rail across the middle.
+        cell.add_rect("metal", Rect(0, p - 3, p, p))
+        cell.add_port("word", Point(1, 2), "poly", "input")
+        cell.add_port("bit", Point(2, p // 2), "metal", "inout")
+        cell.add_port("bitbar", Point(p - 2, p // 2), "metal", "inout")
+        return cell
+
+    @property
+    def transistor_count(self) -> int:
+        return 6
+
+
+@dataclass
+class RamReport:
+    words: int
+    bits_per_word: int
+    transistors: int
+    width: int
+    height: int
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.bits_per_word
+
+
+class RamGenerator(ParameterizedCell):
+    """Generate a static RAM block (decoder + cell array + column periphery).
+
+    The generator also carries a behavioural model (:meth:`write` /
+    :meth:`read`) so memory-backed designs can be simulated before layout.
+    """
+
+    name_prefix = "ram"
+
+    words = Parameter(kind=int, default=16, minimum=2, maximum=1024)
+    bits_per_word = Parameter(kind=int, default=8, minimum=1, maximum=64)
+
+    def __init__(self, technology, **parameters):
+        super().__init__(technology, **parameters)
+        self.report: Optional[RamReport] = None
+        self._storage: Dict[int, int] = {}
+
+    def cell_name(self) -> str:
+        return f"ram_{self.words}x{self.bits_per_word}"
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (self.words - 1).bit_length())
+
+    # -- behavioural model -----------------------------------------------------------
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range for {self.words}-word RAM")
+        self._storage[address] = value & ((1 << self.bits_per_word) - 1)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range for {self.words}-word RAM")
+        return self._storage.get(address, 0)
+
+    # -- layout -------------------------------------------------------------------------
+
+    def build(self) -> Cell:
+        cell = Cell(self.cell_name())
+        bit = SramBitCell(self.technology)
+        bit_cell = bit.cell()
+        pitch = bit_cell.width
+
+        decoder = DecoderGenerator(self.technology, address_bits=self.address_bits)
+        decoder_cell = decoder.cell()
+        cell.place(decoder_cell, 0, 0, name="decoder")
+        array_x0 = decoder_cell.width + 8
+
+        # The storage array is a single 2-D arrangement of one leaf cell.
+        for word in range(self.words):
+            for column in range(self.bits_per_word):
+                cell.place(bit_cell, array_x0 + column * pitch, word * bit_cell.height,
+                           name=f"cell_{word}_{column}")
+
+        # Column periphery: sense/write structures represented by a small
+        # pullup/driver cell per column pair.
+        from repro.lang.parameters import shared_brick
+
+        periphery = shared_brick(self.technology, f"ram_col_periph_{pitch}",
+                                 lambda: self._column_periphery(pitch))
+        top_y = self.words * bit_cell.height
+        for column in range(self.bits_per_word):
+            x = array_x0 + column * pitch
+            cell.place(periphery, x, top_y, name=f"col_{column}")
+            cell.add_port(f"data{column}", Point(x + pitch // 2, top_y + periphery.height - 1),
+                          "metal", "inout")
+
+        for bit_index in range(self.address_bits):
+            port = decoder_cell.port(f"addr{bit_index}")
+            cell.add_port(f"addr{bit_index}", port.position, port.layer, "input")
+        cell.add_port("write_enable", Point(array_x0 - 4, top_y + 2), "poly", "input")
+
+        bbox = cell.bbox()
+        self.report = RamReport(
+            words=self.words,
+            bits_per_word=self.bits_per_word,
+            transistors=6 * self.words * self.bits_per_word
+            + (decoder.report.transistors if decoder.report else 0)
+            + 4 * self.bits_per_word,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        return cell
+
+    def _column_periphery(self, pitch: int) -> Cell:
+        cell = Cell(f"ram_col_periph_{pitch}")
+        height = 16
+        cell.add_rect("metal", Rect(1, 0, 4, height))
+        cell.add_rect("metal", Rect(pitch - 4, 0, pitch - 1, height))
+        cell.add_rect("diffusion", Rect(2, 2, pitch - 2, 6))
+        cell.add_rect("poly", Rect(0, 7, pitch, 9))
+        cell.add_rect("implant", Rect(2, 10, 8, 14))
+        cell.add_rect("diffusion", Rect(3, 10, 7, 15))
+        return cell

@@ -1,0 +1,164 @@
+"""ROM generator: an address decoder plus a programmed transistor matrix.
+
+"Regular blocks, such as memories and PLAs, are programmed for specific
+functions" — the ROM is programmed by its contents: a transistor is present
+at (word, bit) exactly where the stored bit is 1.  The generator accepts the
+contents as a list of integers and produces the decoder, the cell matrix and
+the bit-line pullups/buffers, reporting area and transistor count for the
+E3 parameter sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.lang.parameters import Parameter, ParameterizedCell
+from repro.layout.cell import Cell
+from repro.generators.decoder import DecoderGenerator
+
+
+@dataclass
+class RomReport:
+    words: int
+    bits_per_word: int
+    stored_ones: int
+    transistors: int
+    width: int
+    height: int
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.bits_per_word
+
+
+class RomGenerator(ParameterizedCell):
+    """Generate a mask-programmed ROM from its contents."""
+
+    name_prefix = "rom"
+
+    bits_per_word = Parameter(kind=int, default=8, minimum=1, maximum=64)
+    pitch = Parameter(kind=int, default=8, minimum=6)
+
+    def __init__(self, technology, contents: Sequence[int], **parameters):
+        super().__init__(technology, **parameters)
+        self.contents: List[int] = list(contents)
+        if not self.contents:
+            raise ValueError("ROM contents must not be empty")
+        limit = 2 ** self.bits_per_word
+        for index, word in enumerate(self.contents):
+            if not 0 <= word < limit:
+                raise ValueError(
+                    f"word {index} value {word} does not fit in {self.bits_per_word} bits"
+                )
+        self.report: Optional[RomReport] = None
+
+    def cell_name(self) -> str:
+        return f"rom_{len(self.contents)}x{self.bits_per_word}"
+
+    def _cache_key_extra(self) -> tuple:
+        return (self.cell_name(), tuple(self.contents))
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (len(self.contents) - 1).bit_length())
+
+    # -- functional model ---------------------------------------------------------
+
+    def read(self, address: int) -> int:
+        """The stored word at ``address`` (0 beyond the programmed contents)."""
+        if address < 0:
+            raise IndexError("negative ROM address")
+        if address >= len(self.contents):
+            return 0
+        return self.contents[address]
+
+    # -- layout ----------------------------------------------------------------------
+
+    def build(self) -> Cell:
+        pitch = self.pitch
+        words = len(self.contents)
+        bits = self.bits_per_word
+        cell = Cell(self.cell_name())
+
+        decoder = DecoderGenerator(self.technology, address_bits=self.address_bits,
+                                   pitch=pitch)
+        decoder_cell = decoder.cell()
+        cell.place(decoder_cell, 0, 0, name="decoder")
+        decoder_width = decoder_cell.width
+
+        from repro.lang.parameters import shared_brick
+
+        cell_programmed = shared_brick(self.technology, f"rom_bit_1_{pitch}",
+                                       lambda: self._bit_cell(True))
+        cell_blank = shared_brick(self.technology, f"rom_bit_0_{pitch}",
+                                  lambda: self._bit_cell(False))
+        pullup = shared_brick(self.technology, f"rom_blpullup_{pitch}",
+                              self._bitline_pullup)
+
+        stored_ones = 0
+        matrix_x0 = decoder_width + pitch
+        for word in range(words):
+            row_y = word * pitch
+            for bit in range(bits):
+                x = matrix_x0 + bit * pitch
+                is_one = (self.contents[word] >> (bits - 1 - bit)) & 1
+                chosen = cell_programmed if is_one else cell_blank
+                if is_one:
+                    stored_ones += 1
+                cell.place(chosen, x, row_y, name=f"bit_{word}_{bit}")
+
+        # Bit-line pullups and data ports along the top.
+        matrix_top = 2 ** self.address_bits * pitch
+        for bit in range(bits):
+            x = matrix_x0 + bit * pitch
+            cell.place(pullup, x, matrix_top, name=f"bl_pullup_{bit}")
+            cell.add_port(f"data{bit}", Point(x + pitch // 2, matrix_top + pitch - 1),
+                          "metal", "output")
+
+        # Address ports re-exported from the decoder.
+        for bit in range(self.address_bits):
+            port = decoder_cell.port(f"addr{bit}")
+            cell.add_port(f"addr{bit}", port.position, port.layer, "input")
+
+        bbox = cell.bbox()
+        self.report = RomReport(
+            words=words,
+            bits_per_word=bits,
+            stored_ones=stored_ones,
+            transistors=stored_ones + (decoder.report.transistors if decoder.report else 0) + bits,
+            width=0 if bbox is None else bbox.width,
+            height=0 if bbox is None else bbox.height,
+        )
+        return cell
+
+    # -- brick cells --------------------------------------------------------------------
+
+    def _bit_cell(self, programmed: bool) -> Cell:
+        pitch = self.pitch
+        suffix = "1" if programmed else "0"
+        cell = Cell(f"rom_bit_{suffix}_{pitch}")
+        # Word line: horizontal poly.  Bit line: vertical metal.
+        cell.add_rect("poly", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 1))
+        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, pitch))
+        if programmed:
+            cell.add_rect("diffusion",
+                          Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
+            cell.add_rect("contact",
+                          Rect(pitch // 2 - 1, pitch // 2 - 3, pitch // 2 + 1, pitch // 2 - 1))
+        return cell
+
+    def _bitline_pullup(self) -> Cell:
+        pitch = self.pitch
+        cell = Cell(f"rom_blpullup_{pitch}")
+        cell.add_rect("diffusion", Rect(pitch // 2 - 2, 2, pitch // 2 + 2, pitch - 1))
+        cell.add_rect("poly", Rect(pitch // 2 - 3, 4, pitch // 2 + 3, 8))
+        cell.add_rect("implant", Rect(pitch // 2 - 4, 3, pitch // 2 + 4, 9))
+        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, 4))
+        return cell

@@ -1,0 +1,117 @@
+"""Wire paths: centre-line plus width, as in the CIF ``W`` (wire) command.
+
+Routers and the layout language describe interconnect as paths; for area
+accounting, design-rule checking and extraction the path is expanded into
+rectangles (one per Manhattan segment) with square-ended segments, which is
+the conservative interpretation of the CIF wire primitive for Manhattan
+geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point, manhattan_distance
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Transform
+
+
+@dataclass(frozen=True)
+class Path:
+    """A wire: an ordered list of centre-line points and a width.
+
+    Only Manhattan segments (horizontal or vertical) may be expanded to
+    rectangles; diagonal segments are preserved for CIF output but rejected
+    by :meth:`to_rects`.
+    """
+
+    points: Tuple[Point, ...]
+    width: int
+
+    def __init__(self, points: Sequence[Point], width: int):
+        if len(points) < 2:
+            raise ValueError("a path needs at least two points")
+        if width <= 0:
+            raise ValueError("path width must be positive")
+        deduped: List[Point] = [points[0]]
+        for point in points[1:]:
+            if point != deduped[-1]:
+                deduped.append(point)
+        if len(deduped) < 2:
+            raise ValueError("a path needs at least two distinct points")
+        object.__setattr__(self, "points", tuple(deduped))
+        object.__setattr__(self, "width", width)
+
+    @property
+    def length(self) -> int:
+        """Total rectilinear centre-line length."""
+        return sum(
+            manhattan_distance(a, b) for a, b in zip(self.points, self.points[1:])
+        )
+
+    @property
+    def is_manhattan(self) -> bool:
+        return all(
+            a.x == b.x or a.y == b.y for a, b in zip(self.points, self.points[1:])
+        )
+
+    def segments(self) -> List[Tuple[Point, Point]]:
+        return list(zip(self.points, self.points[1:]))
+
+    def to_rects(self) -> List[Rect]:
+        """Expand to one rectangle per segment with square end caps."""
+        if not self.is_manhattan:
+            raise ValueError("only Manhattan paths can be expanded to rectangles")
+        half = self.width // 2
+        other_half = self.width - half
+        rects: List[Rect] = []
+        for a, b in self.segments():
+            if a.y == b.y:  # horizontal
+                x_low, x_high = sorted((a.x, b.x))
+                rects.append(Rect(x_low - half, a.y - half, x_high + other_half, a.y + other_half))
+            else:  # vertical
+                y_low, y_high = sorted((a.y, b.y))
+                rects.append(Rect(a.x - half, y_low - half, a.x + other_half, y_high + other_half))
+        return rects
+
+    @property
+    def bbox(self) -> Rect:
+        rects = self.to_rects() if self.is_manhattan else None
+        if rects:
+            result = rects[0]
+            for rect in rects[1:]:
+                result = result.union(rect)
+            return result
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        half = self.width // 2
+        return Rect(min(xs) - half, min(ys) - half, max(xs) + half, max(ys) + half)
+
+    def translated(self, dx: int, dy: int) -> "Path":
+        return Path([p.translated(dx, dy) for p in self.points], self.width)
+
+    def transformed(self, transform: Transform) -> "Path":
+        return Path(transform.apply_all(self.points), self.width)
+
+    def reversed(self) -> "Path":
+        return Path(list(reversed(self.points)), self.width)
+
+    def extended_to(self, point: Point) -> "Path":
+        """Return a new path with one more point appended."""
+        return Path(list(self.points) + [point], self.width)
+
+
+def path_to_polygon(path: Path) -> Polygon:
+    """Approximate a Manhattan path's outline as a polygon via its rectangles.
+
+    For single-segment paths the result is exact; for multi-segment paths the
+    bounding outline of the union is approximated by the union bbox only when
+    the path is a straight line, otherwise a ``ValueError`` directs callers to
+    use :meth:`Path.to_rects`.
+    """
+    rects = path.to_rects()
+    if len(rects) == 1:
+        return Polygon.from_rect(rects[0])
+    raise ValueError("multi-segment paths should be handled as rectangles; use to_rects()")

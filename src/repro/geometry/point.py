@@ -1,0 +1,110 @@
+"""Integer lattice points.
+
+Layout coordinates are integers (lambda units or centilambda).  ``Point`` is
+an immutable value type supporting the arithmetic needed by the layout
+language: translation, scaling, component-wise min/max and rotation by
+multiples of 90 degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point on the integer layout grid.
+
+    Points are immutable and hashable so they can be used as dictionary keys
+    (e.g. by routers and extraction connectivity tracing).
+    """
+
+    x: int
+    y: int
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __mul__(self, factor: int) -> "Point":
+        return Point(self.x * factor, self.y * factor)
+
+    __rmul__ = __mul__
+
+    def scaled(self, numerator: int, denominator: int = 1) -> "Point":
+        """Scale by a rational factor, rounding to the nearest grid point."""
+        if denominator == 0:
+            raise ZeroDivisionError("point scale denominator must be non-zero")
+        return Point(
+            _round_half_away(self.x * numerator, denominator),
+            _round_half_away(self.y * numerator, denominator),
+        )
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def rotated90(self, quarter_turns: int = 1) -> "Point":
+        """Rotate counter-clockwise about the origin by 90° * quarter_turns."""
+        turns = quarter_turns % 4
+        x, y = self.x, self.y
+        for _ in range(turns):
+            x, y = -y, x
+        return Point(x, y)
+
+    def mirrored_x(self) -> "Point":
+        """Mirror in x: (x, y) -> (-x, y) (CIF ``MX`` convention)."""
+        return Point(-self.x, self.y)
+
+    def mirrored_y(self) -> "Point":
+        """Mirror in y: (x, y) -> (x, -y) (CIF ``MY`` convention)."""
+        return Point(self.x, -self.y)
+
+    def min_with(self, other: "Point") -> "Point":
+        return Point(min(self.x, other.x), min(self.y, other.y))
+
+    def max_with(self, other: "Point") -> "Point":
+        return Point(max(self.x, other.x), max(self.y, other.y))
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def snapped(self, grid: int) -> "Point":
+        """Snap to the nearest multiple of ``grid`` in both coordinates."""
+        if grid <= 0:
+            raise ValueError("grid must be positive")
+        return Point(_snap(self.x, grid), _snap(self.y, grid))
+
+    def is_on_grid(self, grid: int) -> bool:
+        return self.x % grid == 0 and self.y % grid == 0
+
+
+ORIGIN = Point(0, 0)
+
+
+def manhattan_distance(a: Point, b: Point) -> int:
+    """Rectilinear distance between two points (wire-length metric)."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def _round_half_away(numerator: int, denominator: int) -> int:
+    """Integer division rounding half away from zero (CIF scaling rule)."""
+    if denominator < 0:
+        numerator, denominator = -numerator, -denominator
+    quotient, remainder = divmod(abs(numerator), denominator)
+    if 2 * remainder >= denominator:
+        quotient += 1
+    return quotient if numerator >= 0 else -quotient
+
+
+def _snap(value: int, grid: int) -> int:
+    return _round_half_away(value, grid) * grid

@@ -1,0 +1,238 @@
+"""Axis-aligned rectangles, the workhorse of Manhattan layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle with integer corners.
+
+    Stored as lower-left ``(x1, y1)`` and upper-right ``(x2, y2)`` with
+    ``x1 <= x2`` and ``y1 <= y2``.  Degenerate (zero-width or zero-height)
+    rectangles are permitted; they are useful as construction aids but are
+    rejected by the layout database when added as mask geometry.
+    """
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"malformed rectangle: ({self.x1},{self.y1})-({self.x2},{self.y2})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Rect":
+        """Rectangle spanning two arbitrary corner points."""
+        return Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @staticmethod
+    def from_center(center: Point, width: int, height: int) -> "Rect":
+        """Rectangle of the given size centred on ``center``.
+
+        Width and height must be even so that corners stay on the integer
+        grid; the CIF box primitive has the same constraint for on-grid
+        centres.
+        """
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        if width % 2 or height % 2:
+            raise ValueError("centered rectangles require even width and height")
+        half_w, half_h = width // 2, height // 2
+        return Rect(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+    @staticmethod
+    def from_size(origin: Point, width: int, height: int) -> "Rect":
+        """Rectangle with lower-left corner at ``origin``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return Rect(origin.x, origin.y, origin.x + width, origin.y + height)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x1 + self.x2) // 2, (self.y1 + self.y2) // 2)
+
+    @property
+    def lower_left(self) -> Point:
+        return Point(self.x1, self.y1)
+
+    @property
+    def upper_right(self) -> Point:
+        return Point(self.x2, self.y2)
+
+    @property
+    def lower_right(self) -> Point:
+        return Point(self.x2, self.y1)
+
+    @property
+    def upper_left(self) -> Point:
+        return Point(self.x1, self.y2)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    def corners(self) -> List[Point]:
+        """Corners in counter-clockwise order starting at the lower-left."""
+        return [self.lower_left, self.lower_right, self.upper_right, self.upper_left]
+
+    # -- geometric predicates ------------------------------------------------
+
+    def contains_point(self, point: Point, strict: bool = False) -> bool:
+        if strict:
+            return self.x1 < point.x < self.x2 and self.y1 < point.y < self.y2
+        return self.x1 <= point.x <= self.x2 and self.y1 <= point.y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    def overlaps(self, other: "Rect", strict: bool = True) -> bool:
+        """True if the rectangles share interior area (strict) or touch."""
+        if strict:
+            return (
+                self.x1 < other.x2
+                and other.x1 < self.x2
+                and self.y1 < other.y2
+                and other.y1 < self.y2
+            )
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True if the rectangles abut or overlap (share at least an edge point)."""
+        return self.overlaps(other, strict=False)
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` if they do not touch."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 > x2 or y1 > y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def distance_to(self, other: "Rect") -> int:
+        """Rectilinear gap between two rectangles (0 if they touch/overlap)."""
+        dx = max(self.x1 - other.x2, other.x1 - self.x2, 0)
+        dy = max(self.y1 - other.y2, other.y1 - self.y2, 0)
+        return max(dx, dy) if (dx == 0 or dy == 0) else dx + dy
+
+    # -- derived rectangles ---------------------------------------------------
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def expanded(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margin) by ``margin`` on every side."""
+        rect = Rect.from_points(
+            Point(self.x1 - margin, self.y1 - margin),
+            Point(self.x2 + margin, self.y2 + margin),
+        )
+        if margin < 0 and (self.width + 2 * margin < 0 or self.height + 2 * margin < 0):
+            raise ValueError("shrink margin larger than rectangle")
+        return rect
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def transformed(self, transform: Transform) -> "Rect":
+        """Apply an orthogonal transform; the result is again axis-aligned."""
+        a = transform.apply(self.lower_left)
+        b = transform.apply(self.upper_right)
+        return Rect.from_points(a, b)
+
+    def snapped(self, grid: int) -> "Rect":
+        return Rect.from_points(self.lower_left.snapped(grid), self.upper_right.snapped(grid))
+
+    # -- decomposition ---------------------------------------------------------
+
+    def subtract(self, hole: "Rect") -> List["Rect"]:
+        """Return ``self`` minus ``hole`` as a list of disjoint rectangles."""
+        clipped = self.intersection(hole)
+        if clipped is None or clipped.is_degenerate:
+            return [] if self.is_degenerate else [self]
+        pieces: List[Rect] = []
+        if clipped.y2 < self.y2:  # above
+            pieces.append(Rect(self.x1, clipped.y2, self.x2, self.y2))
+        if self.y1 < clipped.y1:  # below
+            pieces.append(Rect(self.x1, self.y1, self.x2, clipped.y1))
+        if self.x1 < clipped.x1:  # left
+            pieces.append(Rect(self.x1, clipped.y1, clipped.x1, clipped.y2))
+        if clipped.x2 < self.x2:  # right
+            pieces.append(Rect(clipped.x2, clipped.y1, self.x2, clipped.y2))
+        return [piece for piece in pieces if not piece.is_degenerate]
+
+
+def merged_area(rects: Iterable[Rect]) -> int:
+    """Total area covered by a set of possibly-overlapping rectangles.
+
+    Uses a simple coordinate-compression sweep; adequate for the design sizes
+    this toolchain targets (thousands of rectangles per cell).
+    """
+    rect_list = [r for r in rects if not r.is_degenerate]
+    if not rect_list:
+        return 0
+    xs = sorted({r.x1 for r in rect_list} | {r.x2 for r in rect_list})
+    total = 0
+    for left, right in zip(xs, xs[1:]):
+        column_width = right - left
+        if column_width == 0:
+            continue
+        spans: List[Tuple[int, int]] = sorted(
+            (r.y1, r.y2) for r in rect_list if r.x1 <= left and r.x2 >= right
+        )
+        covered = 0
+        current_start: Optional[int] = None
+        current_end: Optional[int] = None
+        for y1, y2 in spans:
+            if current_end is None:
+                current_start, current_end = y1, y2
+            elif y1 <= current_end:
+                current_end = max(current_end, y2)
+            else:
+                covered += current_end - current_start
+                current_start, current_end = y1, y2
+        if current_end is not None:
+            covered += current_end - current_start
+        total += covered * column_width
+    return total

@@ -1,0 +1,160 @@
+"""Orthogonal layout transforms.
+
+The transform group is the one CIF symbol calls support: mirroring about the
+axes, rotation by multiples of 90 degrees, and translation.  A transform is
+represented by an :class:`Orientation` (one of the eight elements of the
+dihedral group D4) plus an integer translation, which is sufficient for all
+Manhattan layout manipulation and round-trips exactly through CIF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Tuple
+
+from repro.geometry.point import Point
+
+
+class Orientation(Enum):
+    """The eight orientations of the square (D4 dihedral group).
+
+    Naming follows the common layout convention: ``R0/R90/R180/R270`` are
+    counter-clockwise rotations, ``MX`` mirrors about the y axis (negating x),
+    ``MY`` mirrors about the x axis (negating y), and ``MXR90``/``MYR90`` are
+    mirrors followed by a 90 degree rotation.
+    """
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"
+    MY = "MY"
+    MXR90 = "MXR90"
+    MYR90 = "MYR90"
+
+    def apply(self, point: Point) -> Point:
+        """Apply this orientation to a point about the origin."""
+        matrix = _ORIENTATION_MATRICES[self]
+        a, b, c, d = matrix
+        return Point(a * point.x + b * point.y, c * point.x + d * point.y)
+
+    def then(self, other: "Orientation") -> "Orientation":
+        """Compose: first apply ``self``, then ``other``."""
+        return _COMPOSITION[(self, other)]
+
+    def inverse(self) -> "Orientation":
+        return _INVERSES[self]
+
+    @property
+    def swaps_axes(self) -> bool:
+        """True if the orientation maps horizontal extents to vertical ones."""
+        a, b, c, d = _ORIENTATION_MATRICES[self]
+        return a == 0
+
+    @property
+    def determinant(self) -> int:
+        a, b, c, d = _ORIENTATION_MATRICES[self]
+        return a * d - b * c
+
+
+# Row-major 2x2 integer matrices (a, b, c, d) mapping (x, y) -> (ax+by, cx+dy).
+_ORIENTATION_MATRICES = {
+    Orientation.R0: (1, 0, 0, 1),
+    Orientation.R90: (0, -1, 1, 0),
+    Orientation.R180: (-1, 0, 0, -1),
+    Orientation.R270: (0, 1, -1, 0),
+    Orientation.MX: (-1, 0, 0, 1),
+    Orientation.MY: (1, 0, 0, -1),
+    Orientation.MXR90: (0, -1, -1, 0),
+    Orientation.MYR90: (0, 1, 1, 0),
+}
+
+_MATRIX_TO_ORIENTATION = {matrix: o for o, matrix in _ORIENTATION_MATRICES.items()}
+
+
+def _multiply(m1: Tuple[int, int, int, int], m2: Tuple[int, int, int, int]) -> Tuple[int, int, int, int]:
+    a1, b1, c1, d1 = m1
+    a2, b2, c2, d2 = m2
+    return (
+        a2 * a1 + b2 * c1,
+        a2 * b1 + b2 * d1,
+        c2 * a1 + d2 * c1,
+        c2 * b1 + d2 * d1,
+    )
+
+
+_COMPOSITION = {}
+_INVERSES = {}
+for _first in Orientation:
+    for _second in Orientation:
+        _product = _multiply(_ORIENTATION_MATRICES[_first], _ORIENTATION_MATRICES[_second])
+        _COMPOSITION[(_first, _second)] = _MATRIX_TO_ORIENTATION[_product]
+for _o in Orientation:
+    for _candidate in Orientation:
+        if _COMPOSITION[(_o, _candidate)] is Orientation.R0:
+            _INVERSES[_o] = _candidate
+            break
+
+
+@dataclass(frozen=True)
+class Transform:
+    """An orientation followed by a translation.
+
+    ``transform.apply(p)`` computes ``orientation(p) + translation``, matching
+    the CIF call semantics where the transformation list is applied to the
+    symbol's local coordinates to place it in the caller's space.
+    """
+
+    orientation: Orientation = Orientation.R0
+    translation: Point = Point(0, 0)
+
+    @staticmethod
+    def identity() -> "Transform":
+        return Transform()
+
+    @staticmethod
+    def translate(dx: int, dy: int) -> "Transform":
+        return Transform(Orientation.R0, Point(dx, dy))
+
+    @staticmethod
+    def rotate90(quarter_turns: int = 1) -> "Transform":
+        turns = quarter_turns % 4
+        orientation = [Orientation.R0, Orientation.R90, Orientation.R180, Orientation.R270][turns]
+        return Transform(orientation, Point(0, 0))
+
+    @staticmethod
+    def mirror_x() -> "Transform":
+        return Transform(Orientation.MX, Point(0, 0))
+
+    @staticmethod
+    def mirror_y() -> "Transform":
+        return Transform(Orientation.MY, Point(0, 0))
+
+    def apply(self, point: Point) -> Point:
+        return self.orientation.apply(point) + self.translation
+
+    def apply_all(self, points: Iterable[Point]) -> List[Point]:
+        return [self.apply(p) for p in points]
+
+    def then(self, other: "Transform") -> "Transform":
+        """Compose transforms: first ``self``, then ``other``.
+
+        ``(self.then(other)).apply(p) == other.apply(self.apply(p))``
+        """
+        orientation = self.orientation.then(other.orientation)
+        translation = other.orientation.apply(self.translation) + other.translation
+        return Transform(orientation, translation)
+
+    def inverse(self) -> "Transform":
+        inverse_orientation = self.orientation.inverse()
+        inverse_translation = inverse_orientation.apply(-self.translation)
+        return Transform(inverse_orientation, inverse_translation)
+
+    def translated(self, dx: int, dy: int) -> "Transform":
+        return Transform(self.orientation, self.translation + Point(dx, dy))
+
+    @property
+    def is_identity(self) -> bool:
+        return self.orientation is Orientation.R0 and self.translation == Point(0, 0)

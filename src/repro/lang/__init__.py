@@ -1,0 +1,42 @@
+"""The extensible layout language, embedded in Python.
+
+Gray's central argument is that software engineers should participate in
+silicon design by *writing programs* that compile to manufacturing data.
+This package is that language: a set of Python-hosted abstractions —
+a cursor-based :class:`LayoutBuilder`, a stick-diagram notation, and a
+composition algebra (abut, stack, array, mirror) — that turn structured
+programs into structured layouts.  Data-type extension happens the ordinary
+Python way: generator classes subclass :class:`ParameterizedCell` and add
+their own parameter types and validation.
+"""
+
+from repro.lang.builder import LayoutBuilder, Direction
+from repro.lang.composition import (
+    abut_horizontal,
+    abut_vertical,
+    array_cell,
+    mirror_cell,
+    stack_cells,
+    row_of,
+    column_of,
+)
+from repro.lang.parameters import Parameter, ParameterizedCell, ParameterError
+from repro.lang.sticks import StickDiagram, StickLayer, compile_sticks
+
+__all__ = [
+    "LayoutBuilder",
+    "Direction",
+    "abut_horizontal",
+    "abut_vertical",
+    "array_cell",
+    "mirror_cell",
+    "stack_cells",
+    "row_of",
+    "column_of",
+    "Parameter",
+    "ParameterizedCell",
+    "ParameterError",
+    "StickDiagram",
+    "StickLayer",
+    "compile_sticks",
+]

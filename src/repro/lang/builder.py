@@ -1,0 +1,216 @@
+"""Cursor-based layout builder.
+
+The builder is the imperative core of the layout language: a drawing cursor
+that moves across the plane laying down wires, boxes, contacts and
+transistors in technology-legal sizes.  It reads minimum widths and
+spacings from the technology's rule set so programs written against it stay
+design-rule-correct when the technology (or lambda) changes — the essence of
+parameterised, retargetable cell description.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.technology.rules import RuleKind
+from repro.technology.technology import Technology
+
+
+class Direction(Enum):
+    """Compass directions for cursor movement."""
+
+    NORTH = (0, 1)
+    SOUTH = (0, -1)
+    EAST = (1, 0)
+    WEST = (-1, 0)
+
+    @property
+    def dx(self) -> int:
+        return self.value[0]
+
+    @property
+    def dy(self) -> int:
+        return self.value[1]
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.dy == 0
+
+
+class LayoutBuilder:
+    """Imperative layout construction bound to a cell and a technology."""
+
+    def __init__(self, cell: Cell, technology: Technology, origin: Point = Point(0, 0)):
+        self.cell = cell
+        self.technology = technology
+        self.cursor = origin
+        self._wire_layer: Optional[str] = None
+        self._wire_width: Optional[int] = None
+        self._wire_start: Optional[Point] = None
+        self._wire_points: List[Point] = []
+
+    # -- cursor control ----------------------------------------------------------
+
+    def move_to(self, x: int, y: int) -> "LayoutBuilder":
+        """Move the cursor without drawing; ends any wire in progress."""
+        self.end_wire()
+        self.cursor = Point(x, y)
+        return self
+
+    def at(self, point: Point) -> "LayoutBuilder":
+        return self.move_to(point.x, point.y)
+
+    # -- primitive geometry ---------------------------------------------------------
+
+    def min_width(self, layer: str) -> int:
+        return self.technology.rules.min_width(layer, default=2)
+
+    def box(self, layer: str, width: int, height: int,
+            center: Optional[Point] = None) -> Rect:
+        """Draw a box of the given size centred on the cursor (or ``center``)."""
+        where = center if center is not None else self.cursor
+        rect = Rect(
+            where.x - width // 2,
+            where.y - height // 2,
+            where.x - width // 2 + width,
+            where.y - height // 2 + height,
+        )
+        self.cell.add_rect(layer, rect)
+        return rect
+
+    def box_at(self, layer: str, x1: int, y1: int, x2: int, y2: int) -> Rect:
+        rect = Rect(x1, y1, x2, y2)
+        self.cell.add_rect(layer, rect)
+        return rect
+
+    def label(self, text: str, layer: str = "", position: Optional[Point] = None) -> None:
+        self.cell.add_label(text, position if position is not None else self.cursor, layer)
+
+    def port(self, name: str, layer: str, direction: str = "",
+             position: Optional[Point] = None) -> None:
+        self.cell.add_port(name, position if position is not None else self.cursor,
+                           layer, direction)
+
+    # -- wires ------------------------------------------------------------------------
+
+    def begin_wire(self, layer: str, width: Optional[int] = None) -> "LayoutBuilder":
+        """Start a wire at the cursor on the given layer.
+
+        Width defaults to the layer's minimum width.
+        """
+        self.end_wire()
+        self._wire_layer = layer
+        self._wire_width = width if width is not None else self.min_width(layer)
+        self._wire_start = self.cursor
+        self._wire_points = [self.cursor]
+        return self
+
+    def wire_to(self, x: Optional[int] = None, y: Optional[int] = None) -> "LayoutBuilder":
+        """Extend the wire in progress to a new x and/or y position."""
+        if self._wire_layer is None:
+            raise RuntimeError("wire_to called with no wire in progress")
+        target = Point(
+            self.cursor.x if x is None else x,
+            self.cursor.y if y is None else y,
+        )
+        if target.x != self.cursor.x and target.y != self.cursor.y:
+            # Manhattan route: horizontal first, then vertical.
+            elbow = Point(target.x, self.cursor.y)
+            self._wire_points.append(elbow)
+        self._wire_points.append(target)
+        self.cursor = target
+        return self
+
+    def wire(self, direction: Direction, distance: int) -> "LayoutBuilder":
+        """Extend the wire in progress by ``distance`` in a compass direction."""
+        if distance < 0:
+            raise ValueError("wire distance must be non-negative")
+        return self.wire_to(
+            self.cursor.x + direction.dx * distance,
+            self.cursor.y + direction.dy * distance,
+        )
+
+    def end_wire(self) -> Optional[Rect]:
+        """Finish the wire in progress, emitting its geometry."""
+        if self._wire_layer is None:
+            return None
+        bbox: Optional[Rect] = None
+        if len(self._wire_points) >= 2:
+            shape = self.cell.add_wire(self._wire_layer, self._wire_points, self._wire_width)
+            bbox = shape.bbox
+        self._wire_layer = None
+        self._wire_width = None
+        self._wire_start = None
+        self._wire_points = []
+        return bbox
+
+    def route(self, layer: str, points: Sequence[Point], width: Optional[int] = None) -> None:
+        """Draw a complete multi-point wire in one call."""
+        if len(points) < 2:
+            raise ValueError("route needs at least two points")
+        self.cell.add_wire(layer, list(points),
+                           width if width is not None else self.min_width(layer))
+
+    # -- technology-aware composite structures ---------------------------------------------
+
+    def contact(self, bottom_layer: str, top_layer: str,
+                center: Optional[Point] = None) -> Rect:
+        """Draw a contact cut between two conducting layers at the cursor.
+
+        The cut size and the surrounds come from the technology rules, so the
+        same program produces legal contacts in any lambda.
+        """
+        where = center if center is not None else self.cursor
+        rules = self.technology.rules
+        cut = rules.value(RuleKind.EXACT_SIZE, self._contact_layer(), default=2)
+        bottom_surround = rules.value(RuleKind.MIN_ENCLOSURE, bottom_layer,
+                                      self._contact_layer(), default=1)
+        top_surround = rules.value(RuleKind.MIN_ENCLOSURE, top_layer,
+                                   self._contact_layer(), default=1)
+        cut_rect = Rect.from_center(where, cut, cut)
+        self.cell.add_rect(self._contact_layer(), cut_rect)
+        self.cell.add_rect(bottom_layer, cut_rect.expanded(bottom_surround))
+        self.cell.add_rect(top_layer, cut_rect.expanded(top_surround))
+        return cut_rect.expanded(max(bottom_surround, top_surround))
+
+    def _contact_layer(self) -> str:
+        for layer in self.technology.layers:
+            if layer.purpose.name == "CONTACT":
+                return layer.name
+        raise KeyError("technology has no contact layer")
+
+    def transistor(self, gate_layer: str, channel_layer: str,
+                   width: int, length: Optional[int] = None,
+                   orientation: Direction = Direction.EAST,
+                   center: Optional[Point] = None) -> Tuple[Rect, Rect]:
+        """Draw a MOS transistor: a gate strip crossing a channel strip.
+
+        ``width`` is the channel width (the dimension along the gate strip);
+        ``length`` is the channel length and defaults to the gate layer's
+        minimum width.  Returns ``(gate_rect, channel_rect)``.
+        """
+        where = center if center is not None else self.cursor
+        rules = self.technology.rules
+        gate_length = length if length is not None else rules.min_width(gate_layer, default=2)
+        gate_extension = rules.value(RuleKind.MIN_EXTENSION, gate_layer, channel_layer, default=2)
+        diff_extension = rules.value(RuleKind.MIN_EXTENSION, channel_layer, gate_layer, default=2)
+        if orientation.is_horizontal:
+            # Channel current flows horizontally: gate strip is vertical.
+            gate = Rect.from_center(where, gate_length, width + 2 * gate_extension)
+            channel = Rect.from_center(where, gate_length + 2 * diff_extension, width)
+        else:
+            gate = Rect.from_center(where, width + 2 * gate_extension, gate_length)
+            channel = Rect.from_center(where, width, gate_length + 2 * diff_extension)
+        self.cell.add_rect(gate_layer, gate)
+        self.cell.add_rect(channel_layer, channel)
+        return gate, channel
+
+    def implant_over(self, rect: Rect, implant_layer: str, surround: int = 2) -> Rect:
+        """Cover a region (typically a depletion-load gate) with implant."""
+        implant = rect.expanded(surround)
+        self.cell.add_rect(implant_layer, implant)
+        return implant

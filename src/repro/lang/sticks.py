@@ -1,0 +1,188 @@
+"""Stick diagrams compiled to mask geometry.
+
+A stick diagram is the symbolic physical description used throughout the
+Mead & Conway text: coloured line segments (sticks) on a coarse grid for
+each conducting layer, crosses where transistors form, and contacts where
+layers join.  Compiling sticks to mask geometry is a miniature silicon
+compiler in itself: each stick becomes a minimum-width wire on a fixed
+grid pitch, crossings of poly over diffusion become transistors, and marked
+junctions become contact structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.point import Point
+from repro.layout.cell import Cell
+from repro.lang.builder import LayoutBuilder
+from repro.technology.technology import Technology
+
+
+class StickLayer(Enum):
+    """The symbolic colours of a stick diagram."""
+
+    DIFFUSION = "diffusion"   # green
+    POLY = "poly"             # red
+    METAL = "metal"           # blue
+
+
+@dataclass(frozen=True)
+class Stick:
+    """A straight stick between two grid points on one symbolic layer."""
+
+    layer: StickLayer
+    start: Tuple[int, int]
+    end: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.start[0] != self.end[0] and self.start[1] != self.end[1]:
+            raise ValueError("sticks must be horizontal or vertical")
+
+
+@dataclass(frozen=True)
+class StickContact:
+    """A contact marker joining two symbolic layers at a grid point."""
+
+    position: Tuple[int, int]
+    bottom: StickLayer
+    top: StickLayer
+
+
+@dataclass(frozen=True)
+class StickDepletion:
+    """Marks a grid point whose transistor is a depletion-mode device."""
+
+    position: Tuple[int, int]
+
+
+class StickDiagram:
+    """A symbolic layout on a coarse grid."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sticks: List[Stick] = []
+        self.contacts: List[StickContact] = []
+        self.depletion_sites: List[StickDepletion] = []
+        self.labels: List[Tuple[str, Tuple[int, int], StickLayer]] = []
+
+    def stick(self, layer: StickLayer, start: Tuple[int, int],
+              end: Tuple[int, int]) -> "StickDiagram":
+        self.sticks.append(Stick(layer, tuple(start), tuple(end)))
+        return self
+
+    def contact(self, position: Tuple[int, int], bottom: StickLayer,
+                top: StickLayer) -> "StickDiagram":
+        self.contacts.append(StickContact(tuple(position), bottom, top))
+        return self
+
+    def depletion(self, position: Tuple[int, int]) -> "StickDiagram":
+        self.depletion_sites.append(StickDepletion(tuple(position)))
+        return self
+
+    def label(self, text: str, position: Tuple[int, int],
+              layer: StickLayer = StickLayer.METAL) -> "StickDiagram":
+        self.labels.append((text, tuple(position), layer))
+        return self
+
+    # -- analysis -------------------------------------------------------------------
+
+    def transistor_sites(self) -> List[Tuple[int, int]]:
+        """Grid points where a poly stick crosses a diffusion stick."""
+        poly_points = self._points_on_layer(StickLayer.POLY)
+        diff_points = self._points_on_layer(StickLayer.DIFFUSION)
+        return sorted(poly_points & diff_points)
+
+    def _points_on_layer(self, layer: StickLayer) -> Set[Tuple[int, int]]:
+        points: Set[Tuple[int, int]] = set()
+        for stick in self.sticks:
+            if stick.layer is not layer:
+                continue
+            x1, y1 = stick.start
+            x2, y2 = stick.end
+            if x1 == x2:
+                for y in range(min(y1, y2), max(y1, y2) + 1):
+                    points.add((x1, y))
+            else:
+                for x in range(min(x1, x2), max(x1, x2) + 1):
+                    points.add((x, y1))
+        return points
+
+    def grid_extent(self) -> Tuple[int, int]:
+        xs = [p[0] for s in self.sticks for p in (s.start, s.end)]
+        ys = [p[1] for s in self.sticks for p in (s.start, s.end)]
+        if not xs:
+            return (0, 0)
+        return (max(xs), max(ys))
+
+
+# Mapping from symbolic layers to NMOS mask layer names.
+_NMOS_LAYER_OF = {
+    StickLayer.DIFFUSION: "diffusion",
+    StickLayer.POLY: "poly",
+    StickLayer.METAL: "metal",
+}
+
+
+def compile_sticks(diagram: StickDiagram, technology: Technology,
+                   pitch: Optional[int] = None) -> Cell:
+    """Compile a stick diagram to mask geometry.
+
+    Each grid unit becomes ``pitch`` lambda (default: large enough to satisfy
+    the worst-case same-layer spacing plus width, i.e. metal pitch).  Sticks
+    become minimum-width wires, layer-pair markers become contacts, and
+    depletion markers add implant over the transistor site.
+    """
+    rules = technology.rules
+    if pitch is None:
+        metal_width = rules.min_width("metal", default=3)
+        metal_space = rules.min_spacing("metal", default=3)
+        pitch = metal_width + metal_space + 1
+    cell = Cell(diagram.name)
+    builder = LayoutBuilder(cell, technology)
+
+    def to_lambda(grid_point: Tuple[int, int]) -> Point:
+        return Point(grid_point[0] * pitch, grid_point[1] * pitch)
+
+    for stick in diagram.sticks:
+        layer = _mask_layer(technology, stick.layer)
+        width = rules.min_width(layer, default=2)
+        start = to_lambda(stick.start)
+        end = to_lambda(stick.end)
+        if start == end:
+            builder.box(layer, width, width, center=start)
+        else:
+            builder.route(layer, [start, end], width)
+
+    for contact in diagram.contacts:
+        bottom = _mask_layer(technology, contact.bottom)
+        top = _mask_layer(technology, contact.top)
+        builder.contact(bottom, top, center=to_lambda(contact.position))
+
+    transistor_sites = set(diagram.transistor_sites())
+    for site in diagram.depletion_sites:
+        if site.position not in transistor_sites:
+            raise ValueError(
+                f"depletion marker at {site.position} is not on a poly/diffusion crossing"
+            )
+        if technology.has_layer("implant"):
+            center = to_lambda(site.position)
+            gate_width = rules.min_width("poly", default=2) + 4
+            builder.box("implant", gate_width + 2, gate_width + 2, center=center)
+
+    for text, position, layer in diagram.labels:
+        builder.label(text, _mask_layer(technology, layer), to_lambda(position))
+
+    return cell
+
+
+def _mask_layer(technology: Technology, stick_layer: StickLayer) -> str:
+    name = _NMOS_LAYER_OF[stick_layer]
+    if technology.has_layer(name):
+        return name
+    # CMOS technology calls its diffusion layer "active".
+    if stick_layer is StickLayer.DIFFUSION and technology.has_layer("active"):
+        return "active"
+    raise KeyError(f"technology {technology.name!r} has no layer for {stick_layer}")

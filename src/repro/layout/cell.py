@@ -1,0 +1,222 @@
+"""Cells (CIF symbols) and cell instances (CIF calls).
+
+A cell owns its mask geometry, its labels/ports, and a list of placed
+instances of other cells.  Cells reference their children directly (not by
+name), so a :class:`~repro.layout.library.Library` is a DAG of cells; cycles
+are rejected when instances are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Orientation, Transform
+from repro.layout.shapes import Geometry, Label, Shape
+
+
+@dataclass(frozen=True)
+class Port:
+    """A declared connection point of a cell.
+
+    Ports carry a name, a position in the cell's local coordinates, the layer
+    on which the connection is made, and a direction hint used by the chip
+    assembler to orient routing.
+    """
+
+    name: str
+    position: Point
+    layer: str
+    direction: str = ""   # "input", "output", "inout", "supply" or ""
+
+    def transformed(self, transform: Transform) -> "Port":
+        return Port(self.name, transform.apply(self.position), self.layer, self.direction)
+
+
+@dataclass
+class CellInstance:
+    """A placement of a child cell inside a parent cell."""
+
+    cell: "Cell"
+    transform: Transform = field(default_factory=Transform.identity)
+    name: str = ""
+
+    @property
+    def bbox(self) -> Optional[Rect]:
+        child_box = self.cell.bbox()
+        if child_box is None:
+            return None
+        return child_box.transformed(self.transform)
+
+    def port_position(self, port_name: str) -> Point:
+        """Position of a child port in the parent's coordinates."""
+        port = self.cell.port(port_name)
+        return self.transform.apply(port.position)
+
+
+class Cell:
+    """A layout cell: geometry + labels + ports + child instances."""
+
+    def __init__(self, name: str):
+        if not name or any(ch.isspace() for ch in name):
+            raise ValueError(f"invalid cell name {name!r}")
+        self.name = name
+        self.shapes: List[Shape] = []
+        self.labels: List[Label] = []
+        self.instances: List[CellInstance] = []
+        self._ports: Dict[str, Port] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_shape(self, shape: Shape) -> Shape:
+        self.shapes.append(shape)
+        return shape
+
+    def add_rect(self, layer: str, rect: Rect) -> Shape:
+        return self.add_shape(Shape(layer, rect))
+
+    def add_box(self, layer: str, x1: int, y1: int, x2: int, y2: int) -> Shape:
+        return self.add_rect(layer, Rect(x1, y1, x2, y2))
+
+    def add_polygon(self, layer: str, polygon: Polygon) -> Shape:
+        return self.add_shape(Shape(layer, polygon))
+
+    def add_wire(self, layer: str, points: Iterable[Point], width: int) -> Shape:
+        return self.add_shape(Shape(layer, Path(list(points), width)))
+
+    def add_label(self, text: str, position: Point, layer: str = "") -> Label:
+        label = Label(text, position, layer)
+        self.labels.append(label)
+        return label
+
+    def add_port(self, name: str, position: Point, layer: str, direction: str = "") -> Port:
+        if name in self._ports:
+            raise ValueError(f"cell {self.name!r} already has a port {name!r}")
+        port = Port(name, position, layer, direction)
+        self._ports[name] = port
+        self.labels.append(Label(name, position, layer))
+        return port
+
+    def add_instance(self, cell: "Cell", transform: Optional[Transform] = None,
+                     name: str = "") -> CellInstance:
+        if cell is self or cell.references(self):
+            raise ValueError(
+                f"adding instance of {cell.name!r} to {self.name!r} would create a cycle"
+            )
+        instance = CellInstance(cell, transform or Transform.identity(), name)
+        self.instances.append(instance)
+        return instance
+
+    def place(self, cell: "Cell", x: int, y: int,
+              orientation: Orientation = Orientation.R0, name: str = "") -> CellInstance:
+        """Convenience: instantiate ``cell`` with its origin at ``(x, y)``."""
+        return self.add_instance(cell, Transform(orientation, Point(x, y)), name)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def ports(self) -> Dict[str, Port]:
+        return dict(self._ports)
+
+    def port(self, name: str) -> Port:
+        if name not in self._ports:
+            raise KeyError(f"cell {self.name!r} has no port {name!r}")
+        return self._ports[name]
+
+    def has_port(self, name: str) -> bool:
+        return name in self._ports
+
+    def port_names(self) -> List[str]:
+        return list(self._ports)
+
+    def references(self, other: "Cell") -> bool:
+        """True if ``other`` is reachable through this cell's instance DAG."""
+        seen: Set[int] = set()
+        stack: List[Cell] = [self]
+        while stack:
+            current = stack.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            if current is other:
+                return True
+            stack.extend(inst.cell for inst in current.instances)
+        return False
+
+    def children(self) -> List["Cell"]:
+        """Distinct child cells directly instantiated by this cell."""
+        result: List[Cell] = []
+        seen: Set[int] = set()
+        for instance in self.instances:
+            if id(instance.cell) not in seen:
+                seen.add(id(instance.cell))
+                result.append(instance.cell)
+        return result
+
+    def descendants(self) -> List["Cell"]:
+        """All distinct cells reachable from this one, bottom-up (children first)."""
+        order: List[Cell] = []
+        seen: Set[int] = set()
+
+        def visit(cell: "Cell") -> None:
+            if id(cell) in seen:
+                return
+            seen.add(id(cell))
+            for instance in cell.instances:
+                visit(instance.cell)
+            order.append(cell)
+
+        for instance in self.instances:
+            visit(instance.cell)
+        return order
+
+    def bbox(self) -> Optional[Rect]:
+        """Extent of own geometry plus all instance extents (recursive)."""
+        box = BoundingBox()
+        for shape in self.shapes:
+            box.add_rect(shape.bbox)
+        for label in self.labels:
+            box.add_point(label.position)
+        for instance in self.instances:
+            child_box = instance.bbox
+            if child_box is not None:
+                box.add_rect(child_box)
+        return None if box.is_empty else box.rect()
+
+    @property
+    def width(self) -> int:
+        box = self.bbox()
+        return 0 if box is None else box.width
+
+    @property
+    def height(self) -> int:
+        box = self.bbox()
+        return 0 if box is None else box.height
+
+    def shapes_on_layer(self, layer: str) -> List[Shape]:
+        return [shape for shape in self.shapes if shape.layer == layer]
+
+    def own_layers(self) -> List[str]:
+        seen: List[str] = []
+        for shape in self.shapes:
+            if shape.layer not in seen:
+                seen.append(shape.layer)
+        return seen
+
+    def instance_count(self) -> int:
+        """Total number of placed instances in the full hierarchy below this cell."""
+        total = len(self.instances)
+        for instance in self.instances:
+            total += instance.cell.instance_count()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell({self.name!r}, {len(self.shapes)} shapes, "
+            f"{len(self.instances)} instances, {len(self._ports)} ports)"
+        )

@@ -1,0 +1,84 @@
+"""Hierarchy flattening.
+
+The DRC, extractor and mask-area metrics operate on a flat view of the
+layout: every shape of every instance expanded into top-level coordinates.
+Flattening is also how we measure the leverage of hierarchy (experiment E6):
+the ratio of flattened geometry to hierarchical description size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Transform
+from repro.layout.cell import Cell
+from repro.layout.shapes import Label, Shape
+
+
+def flatten_cell(cell: Cell, max_depth: Optional[int] = None) -> "FlatLayout":
+    """Flatten a cell (and its instance hierarchy) into top-level shapes.
+
+    ``max_depth`` limits how many levels of hierarchy are expanded;
+    ``None`` means fully flatten.  Depth 0 returns only the cell's own
+    geometry.
+    """
+    flat = FlatLayout(cell.name)
+    _flatten_into(flat, cell, Transform.identity(), 0, max_depth)
+    return flat
+
+
+def _flatten_into(flat: "FlatLayout", cell: Cell, transform: Transform,
+                  depth: int, max_depth: Optional[int]) -> None:
+    for shape in cell.shapes:
+        flat.shapes.append(shape.transformed(transform))
+    for label in cell.labels:
+        flat.labels.append(label.transformed(transform))
+    if max_depth is not None and depth >= max_depth:
+        for instance in cell.instances:
+            flat.unexpanded_instances += 1 + instance.cell.instance_count()
+        return
+    for instance in cell.instances:
+        child_transform = instance.transform.then(transform)
+        _flatten_into(flat, instance.cell, child_transform, depth + 1, max_depth)
+
+
+class FlatLayout:
+    """The result of flattening: shapes and labels in one coordinate system."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.shapes: List[Shape] = []
+        self.labels: List[Label] = []
+        self.unexpanded_instances = 0
+
+    def shapes_on_layer(self, layer: str) -> List[Shape]:
+        return [shape for shape in self.shapes if shape.layer == layer]
+
+    def rects_by_layer(self) -> Dict[str, List[Rect]]:
+        """All geometry reduced to rectangles, grouped by layer."""
+        result: Dict[str, List[Rect]] = {}
+        for shape in self.shapes:
+            result.setdefault(shape.layer, []).extend(shape.as_rects())
+        return result
+
+    def layers(self) -> List[str]:
+        seen: List[str] = []
+        for shape in self.shapes:
+            if shape.layer not in seen:
+                seen.append(shape.layer)
+        return seen
+
+    def bbox(self) -> Optional[Rect]:
+        box: Optional[Rect] = None
+        for shape in self.shapes:
+            box = shape.bbox if box is None else box.union(shape.bbox)
+        return box
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+
+def flattened_shapes_by_layer(cell: Cell) -> Dict[str, List[Rect]]:
+    """Convenience: fully flatten ``cell`` and return rectangles per layer."""
+    return flatten_cell(cell).rects_by_layer()

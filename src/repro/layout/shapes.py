@@ -1,0 +1,94 @@
+"""Shapes: geometry bound to a layer, plus text labels.
+
+A :class:`Shape` is the unit of mask data stored in a cell: a rectangle,
+polygon or wire path on a named layer.  A :class:`Label` is a named point
+used to mark ports and nets; labels are not mask data but are preserved
+through CIF via user-extension commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Union
+
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Transform
+
+Geometry = Union[Rect, Polygon, Path]
+
+
+class ShapeKind(Enum):
+    RECT = "rect"
+    POLYGON = "polygon"
+    WIRE = "wire"
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A piece of mask geometry on a layer."""
+
+    layer: str
+    geometry: Geometry
+
+    def __post_init__(self) -> None:
+        if isinstance(self.geometry, Rect) and self.geometry.is_degenerate:
+            raise ValueError("degenerate rectangles cannot be mask geometry")
+
+    @property
+    def kind(self) -> ShapeKind:
+        if isinstance(self.geometry, Rect):
+            return ShapeKind.RECT
+        if isinstance(self.geometry, Polygon):
+            return ShapeKind.POLYGON
+        return ShapeKind.WIRE
+
+    @property
+    def bbox(self) -> Rect:
+        if isinstance(self.geometry, Rect):
+            return self.geometry
+        return self.geometry.bbox
+
+    def transformed(self, transform: Transform) -> "Shape":
+        return Shape(self.layer, self.geometry.transformed(transform))
+
+    def translated(self, dx: int, dy: int) -> "Shape":
+        return Shape(self.layer, self.geometry.translated(dx, dy))
+
+    def as_rects(self) -> List[Rect]:
+        """Reduce the geometry to rectangles (for DRC, extraction, area)."""
+        if isinstance(self.geometry, Rect):
+            return [self.geometry]
+        if isinstance(self.geometry, Path):
+            return self.geometry.to_rects()
+        # Polygon: rectilinear polygons decompose exactly; other polygons are
+        # conservatively represented by their bounding box.
+        from repro.geometry.polygon import decompose_rectilinear
+
+        if self.geometry.is_rectilinear:
+            return decompose_rectilinear(self.geometry)
+        return [self.geometry.bbox]
+
+    @property
+    def area(self) -> int:
+        from repro.geometry.rect import merged_area
+
+        return merged_area(self.as_rects())
+
+
+@dataclass(frozen=True)
+class Label:
+    """A named point on a layer, used to mark ports and internal nets."""
+
+    text: str
+    position: Point
+    layer: str = ""
+
+    def transformed(self, transform: Transform) -> "Label":
+        return Label(self.text, transform.apply(self.position), self.layer)
+
+    def translated(self, dx: int, dy: int) -> "Label":
+        return Label(self.text, self.position.translated(dx, dy), self.layer)

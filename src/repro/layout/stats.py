@@ -1,0 +1,85 @@
+"""Layout statistics: area, geometry counts and the regularity index.
+
+The regularity index is the metric Mead-style design methodology uses to
+quantify how much leverage hierarchy and repetition give: the ratio of total
+(flattened) drawn geometry to the distinct geometry that had to be designed.
+Gray's paper argues structured, hierarchical, regular design tames
+complexity; experiment E6 measures exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.geometry.rect import merged_area
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+
+
+@dataclass
+class CellStatistics:
+    """Summary numbers for one cell's full hierarchy."""
+
+    name: str
+    bbox_width: int
+    bbox_height: int
+    bbox_area: int
+    flattened_shape_count: int
+    distinct_shape_count: int
+    distinct_cell_count: int
+    instance_count: int
+    hierarchy_depth: int
+    mask_area_by_layer: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def regularity(self) -> float:
+        """Flattened shapes per distinct (designed) shape; >= 1."""
+        if self.distinct_shape_count == 0:
+            return 1.0
+        return self.flattened_shape_count / self.distinct_shape_count
+
+    @property
+    def total_mask_area(self) -> int:
+        return sum(self.mask_area_by_layer.values())
+
+    def density(self) -> float:
+        """Fraction of the bounding box covered by drawn mask geometry."""
+        if self.bbox_area == 0:
+            return 0.0
+        return min(1.0, self.total_mask_area / self.bbox_area)
+
+
+def hierarchy_depth(cell: Cell) -> int:
+    """Longest instance chain below (and including) ``cell``; leaf = 1."""
+    if not cell.instances:
+        return 1
+    return 1 + max(hierarchy_depth(instance.cell) for instance in cell.instances)
+
+
+def cell_statistics(cell: Cell) -> CellStatistics:
+    """Compute summary statistics for a cell and its hierarchy."""
+    flat = flatten_cell(cell)
+    bbox = flat.bbox()
+    distinct_cells = cell.descendants() + [cell]
+    distinct_shapes = sum(len(c.shapes) for c in distinct_cells)
+    area_by_layer: Dict[str, int] = {}
+    for layer, rects in flat.rects_by_layer().items():
+        area_by_layer[layer] = merged_area(rects)
+    return CellStatistics(
+        name=cell.name,
+        bbox_width=0 if bbox is None else bbox.width,
+        bbox_height=0 if bbox is None else bbox.height,
+        bbox_area=0 if bbox is None else bbox.area,
+        flattened_shape_count=len(flat.shapes),
+        distinct_shape_count=distinct_shapes,
+        distinct_cell_count=len(distinct_cells),
+        instance_count=cell.instance_count(),
+        hierarchy_depth=hierarchy_depth(cell),
+        mask_area_by_layer=area_by_layer,
+    )
+
+
+def regularity_index(cell: Cell) -> float:
+    """Shortcut for :attr:`CellStatistics.regularity`."""
+    return cell_statistics(cell).regularity

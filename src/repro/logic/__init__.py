@@ -1,0 +1,45 @@
+"""Boolean logic substrate.
+
+The microscopic silicon compilers (PLA, ROM, FSM generators) are "programmed
+for specific functions" by logic-level descriptions: boolean expressions,
+truth tables and finite-state machines.  This package provides those
+descriptions plus the two-level minimisation that makes programmed PLAs
+competitive in area (experiment E4).
+"""
+
+from repro.logic.expr import (
+    Expr,
+    Var,
+    Const,
+    Not,
+    And,
+    Or,
+    Xor,
+    parse_expr,
+)
+from repro.logic.cube import Cube, Cover
+from repro.logic.truth_table import TruthTable
+from repro.logic.minimize import minimize, minimize_exact, minimize_heuristic
+from repro.logic.fsm import FSM, State, Transition, encode_fsm, StateEncoding
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+    "Cube",
+    "Cover",
+    "TruthTable",
+    "minimize",
+    "minimize_exact",
+    "minimize_heuristic",
+    "FSM",
+    "State",
+    "Transition",
+    "encode_fsm",
+    "StateEncoding",
+]

@@ -1,0 +1,264 @@
+"""Cubes and covers: the two-level representation the PLA generator consumes.
+
+A *cube* is a product term over n inputs, with each input position being
+``'0'`` (complemented), ``'1'`` (true) or ``'-'`` (absent), plus an output
+part saying which outputs the product term drives.  A *cover* is a list of
+cubes over the same input/output signature — exactly the personality matrix
+of a PLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Cube:
+    """One product term of a multi-output cover."""
+
+    inputs: str    # string over {'0', '1', '-'}
+    outputs: str   # string over {'0', '1'}; '1' means this term drives that output
+
+    def __post_init__(self) -> None:
+        if not set(self.inputs) <= {"0", "1", "-"}:
+            raise ValueError(f"invalid input part {self.inputs!r}")
+        if not set(self.outputs) <= {"0", "1"}:
+            raise ValueError(f"invalid output part {self.outputs!r}")
+        if "1" not in self.outputs:
+            raise ValueError("a cube must drive at least one output")
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def literal_count(self) -> int:
+        """Number of specified input literals (used as a cost measure)."""
+        return sum(1 for ch in self.inputs if ch != "-")
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """True if this cube contains the given input minterm."""
+        for position, ch in enumerate(self.inputs):
+            bit = (minterm >> (self.num_inputs - 1 - position)) & 1
+            if ch == "0" and bit != 0:
+                return False
+            if ch == "1" and bit != 1:
+                return False
+        return True
+
+    def minterms(self) -> Iterator[int]:
+        """All input minterms contained in this cube."""
+        free_positions = [i for i, ch in enumerate(self.inputs) if ch == "-"]
+        base = 0
+        for position, ch in enumerate(self.inputs):
+            if ch == "1":
+                base |= 1 << (self.num_inputs - 1 - position)
+        for combo in range(2 ** len(free_positions)):
+            value = base
+            for bit_index, position in enumerate(free_positions):
+                if (combo >> bit_index) & 1:
+                    value |= 1 << (self.num_inputs - 1 - position)
+            yield value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the input parts share at least one minterm."""
+        for a, b in zip(self.inputs, other.inputs):
+            if (a == "0" and b == "1") or (a == "1" and b == "0"):
+                return False
+        return True
+
+    def input_contains(self, other: "Cube") -> bool:
+        """True if this cube's input part contains the other's (is as general)."""
+        for a, b in zip(self.inputs, other.inputs):
+            if a == "-":
+                continue
+            if a != b:
+                return False
+        return True
+
+    def merge_distance(self, other: "Cube") -> int:
+        """Number of input positions where the two cubes differ by 0 vs 1."""
+        distance = 0
+        for a, b in zip(self.inputs, other.inputs):
+            if a != b:
+                distance += 1
+        return distance
+
+    def merged(self, other: "Cube") -> Optional["Cube"]:
+        """Combine two cubes differing in exactly one specified position.
+
+        Returns the merged cube with that position freed, or ``None`` if the
+        cubes cannot be merged.  Output parts must match.
+        """
+        if self.outputs != other.outputs:
+            return None
+        differing = [
+            i for i, (a, b) in enumerate(zip(self.inputs, other.inputs)) if a != b
+        ]
+        if len(differing) != 1:
+            return None
+        position = differing[0]
+        a, b = self.inputs[position], other.inputs[position]
+        if "-" in (a, b):
+            return None
+        merged_inputs = self.inputs[:position] + "-" + self.inputs[position + 1:]
+        return Cube(merged_inputs, self.outputs)
+
+    def __str__(self) -> str:
+        return f"{self.inputs} {self.outputs}"
+
+
+class Cover:
+    """A list of cubes with named inputs and outputs (a PLA personality)."""
+
+    def __init__(self, input_names: Sequence[str], output_names: Sequence[str],
+                 cubes: Iterable[Cube] = ()):
+        if len(set(input_names)) != len(input_names):
+            raise ValueError("duplicate input names")
+        if len(set(output_names)) != len(output_names):
+            raise ValueError("duplicate output names")
+        self.input_names: List[str] = list(input_names)
+        self.output_names: List[str] = list(output_names)
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            self.add(cube)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, cube: Cube) -> None:
+        if cube.num_inputs != len(self.input_names):
+            raise ValueError(
+                f"cube has {cube.num_inputs} inputs, cover has {len(self.input_names)}"
+            )
+        if cube.num_outputs != len(self.output_names):
+            raise ValueError(
+                f"cube has {cube.num_outputs} outputs, cover has {len(self.output_names)}"
+            )
+        self.cubes.append(cube)
+
+    def add_term(self, input_part: str, output_part: str) -> None:
+        self.add(Cube(input_part, output_part))
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_names)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def literal_count(self) -> int:
+        return sum(cube.literal_count for cube in self.cubes)
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate all outputs for one input assignment."""
+        minterm = 0
+        for position, name in enumerate(self.input_names):
+            if name not in assignment:
+                raise KeyError(f"no value for input {name!r}")
+            if assignment[name]:
+                minterm |= 1 << (self.num_inputs - 1 - position)
+        return self.evaluate_minterm(minterm)
+
+    def evaluate_minterm(self, minterm: int) -> Dict[str, int]:
+        outputs = {name: 0 for name in self.output_names}
+        for cube in self.cubes:
+            if cube.covers_minterm(minterm):
+                for position, flag in enumerate(cube.outputs):
+                    if flag == "1":
+                        outputs[self.output_names[position]] = 1
+        return outputs
+
+    def on_set(self, output_name: str) -> List[int]:
+        """All input minterms for which the named output is 1."""
+        column = self.output_names.index(output_name)
+        minterms = set()
+        for cube in self.cubes:
+            if cube.outputs[column] == "1":
+                minterms.update(cube.minterms())
+        return sorted(minterms)
+
+    def is_equivalent_to(self, other: "Cover") -> bool:
+        """Exhaustive functional comparison (inputs must match by name/order)."""
+        if self.input_names != other.input_names or self.output_names != other.output_names:
+            return False
+        for minterm in range(2 ** self.num_inputs):
+            if self.evaluate_minterm(minterm) != other.evaluate_minterm(minterm):
+                return False
+        return True
+
+    def copy(self) -> "Cover":
+        return Cover(self.input_names, self.output_names, list(self.cubes))
+
+    def __str__(self) -> str:
+        header = f".i {self.num_inputs}\n.o {self.num_outputs}\n"
+        names = f".ilb {' '.join(self.input_names)}\n.ob {' '.join(self.output_names)}\n"
+        body = "\n".join(str(cube) for cube in self.cubes)
+        return header + names + body + "\n.e\n"
+
+    # -- espresso-format I/O -------------------------------------------------------
+
+    @staticmethod
+    def from_pla_text(text: str) -> "Cover":
+        """Parse the Berkeley PLA (espresso) text format."""
+        num_inputs: Optional[int] = None
+        num_outputs: Optional[int] = None
+        input_names: Optional[List[str]] = None
+        output_names: Optional[List[str]] = None
+        cube_lines: List[Tuple[str, str]] = []
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith(".i "):
+                num_inputs = int(line.split()[1])
+            elif line.startswith(".o "):
+                num_outputs = int(line.split()[1])
+            elif line.startswith(".ilb"):
+                input_names = line.split()[1:]
+            elif line.startswith(".ob"):
+                output_names = line.split()[1:]
+            elif line.startswith(".p"):
+                continue
+            elif line.startswith(".e"):
+                break
+            elif line.startswith("."):
+                continue
+            else:
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ValueError(f"malformed PLA line: {raw_line!r}")
+                cube_lines.append((parts[0], parts[1]))
+        if num_inputs is None or num_outputs is None:
+            raise ValueError("PLA text missing .i or .o declaration")
+        if input_names is None:
+            input_names = [f"in{i}" for i in range(num_inputs)]
+        if output_names is None:
+            output_names = [f"out{i}" for i in range(num_outputs)]
+        cover = Cover(input_names, output_names)
+        for input_part, output_part in cube_lines:
+            # espresso uses '~' or '2' for don't-care outputs; treat as 0.
+            normalised_output = "".join("1" if ch == "1" else "0" for ch in output_part)
+            if "1" in normalised_output:
+                cover.add_term(input_part, normalised_output)
+        return cover
+
+    def to_pla_text(self) -> str:
+        return str(self)

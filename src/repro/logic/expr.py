@@ -1,0 +1,313 @@
+"""Boolean expression trees and a small expression parser.
+
+Expressions are the designer-facing way to program a PLA or describe
+combinational behaviour in the RTL.  The grammar accepted by
+:func:`parse_expr` is conventional::
+
+    expr   := term ('|' term | '+' term)*
+    term   := factor ('&' factor | '*' factor | factor)*
+    factor := '~' factor | '!' factor | '(' expr ')' | '0' | '1' | name
+    name   := letter (letter | digit | '_' | '[' digits ']')*
+
+``^`` is also accepted between terms for exclusive-or.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+class Expr:
+    """Base class for boolean expression nodes."""
+
+    def variables(self) -> Set[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        raise NotImplementedError
+
+    # Operator overloads let Python itself act as the "extensible language":
+    # designers combine expressions with ``&``, ``|``, ``^`` and ``~``.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, _coerce(other)))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, _coerce(other)))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, _coerce(other)))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __rand__(self, other) -> "Expr":
+        return _coerce(other) & self
+
+    def __ror__(self, other) -> "Expr":
+        return _coerce(other) | self
+
+    def __rxor__(self, other) -> "Expr":
+        return _coerce(other) ^ self
+
+
+def _coerce(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if value in (0, 1, False, True):
+        return Const(int(value))
+    raise TypeError(f"cannot interpret {value!r} as a boolean expression")
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named input variable."""
+
+    name: str
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        if self.name not in assignment:
+            raise KeyError(f"no value supplied for variable {self.name!r}")
+        return 1 if assignment[self.name] else 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """The constant 0 or 1."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("boolean constant must be 0 or 1")
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def variables(self) -> Set[str]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return 1 - self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"~{_parenthesise(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __init__(self, operands: Iterable[Expr]):
+        object.__setattr__(self, "operands", tuple(operands))
+        if len(self.operands) < 2:
+            raise ValueError("And needs at least two operands")
+
+    def variables(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if not operand.evaluate(assignment):
+                return 0
+        return 1
+
+    def __str__(self) -> str:
+        return " & ".join(_parenthesise(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __init__(self, operands: Iterable[Expr]):
+        object.__setattr__(self, "operands", tuple(operands))
+        if len(self.operands) < 2:
+            raise ValueError("Or needs at least two operands")
+
+    def variables(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if operand.evaluate(assignment):
+                return 1
+        return 0
+
+    def __str__(self) -> str:
+        return " | ".join(_parenthesise(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __init__(self, operands: Iterable[Expr]):
+        object.__setattr__(self, "operands", tuple(operands))
+        if len(self.operands) < 2:
+            raise ValueError("Xor needs at least two operands")
+
+    def variables(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        total = sum(operand.evaluate(assignment) for operand in self.operands)
+        return total % 2
+
+    def __str__(self) -> str:
+        return " ^ ".join(_parenthesise(op) for op in self.operands)
+
+
+def _parenthesise(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return str(expr)
+    return f"({expr})"
+
+
+# -- parser ---------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\[[0-9]+\])?)"
+    r"|(?P<const>[01])"
+    r"|(?P<op>[&*|+^~!()]))"
+)
+
+
+class _TokenStream:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise ValueError(f"unexpected character in expression: {text[position:]!r}")
+                break
+            position = match.end()
+            if match.lastgroup == "name":
+                self.tokens.append(("name", match.group("name")))
+            elif match.lastgroup == "const":
+                self.tokens.append(("const", match.group("const")))
+            else:
+                self.tokens.append(("op", match.group("op")))
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return ("end", "")
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise ValueError(f"expected {value!r}, got {text!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a boolean expression string into an :class:`Expr` tree."""
+    stream = _TokenStream(text)
+    expr = _parse_or(stream)
+    kind, token = stream.peek()
+    if kind != "end":
+        raise ValueError(f"trailing input in expression: {token!r}")
+    return expr
+
+
+def _parse_or(stream: _TokenStream) -> Expr:
+    operands = [_parse_xor(stream)]
+    while stream.peek() == ("op", "|") or stream.peek() == ("op", "+"):
+        stream.next()
+        operands.append(_parse_xor(stream))
+    return operands[0] if len(operands) == 1 else Or(operands)
+
+
+def _parse_xor(stream: _TokenStream) -> Expr:
+    operands = [_parse_and(stream)]
+    while stream.peek() == ("op", "^"):
+        stream.next()
+        operands.append(_parse_and(stream))
+    return operands[0] if len(operands) == 1 else Xor(operands)
+
+
+def _parse_and(stream: _TokenStream) -> Expr:
+    operands = [_parse_factor(stream)]
+    while True:
+        kind, token = stream.peek()
+        if (kind, token) in (("op", "&"), ("op", "*")):
+            stream.next()
+            operands.append(_parse_factor(stream))
+        elif kind in ("name", "const") or (kind, token) in (("op", "("), ("op", "~"), ("op", "!")):
+            # Juxtaposition means AND, as in conventional logic equations.
+            operands.append(_parse_factor(stream))
+        else:
+            break
+    return operands[0] if len(operands) == 1 else And(operands)
+
+
+def _parse_factor(stream: _TokenStream) -> Expr:
+    kind, token = stream.next()
+    if (kind, token) in (("op", "~"), ("op", "!")):
+        return Not(_parse_factor(stream))
+    if kind == "name":
+        # Postfix ' means complement, as in many logic texts (e.g. a').
+        return Var(token)
+    if kind == "const":
+        return Const(int(token))
+    if (kind, token) == ("op", "("):
+        inner = _parse_or(stream)
+        stream.expect(")")
+        return inner
+    raise ValueError(f"unexpected token {token!r} in expression")
+
+
+def expr_to_truth_rows(expr: Expr, variables: Sequence[str]) -> List[int]:
+    """Evaluate ``expr`` over all assignments of ``variables`` (LSB = last var).
+
+    Returns a list of 0/1 of length ``2**len(variables)`` indexed by the
+    integer formed by the variable values in the given order (first variable
+    is the most significant bit).
+    """
+    names = list(variables)
+    missing = expr.variables() - set(names)
+    if missing:
+        raise ValueError(f"expression uses variables not listed: {sorted(missing)}")
+    rows: List[int] = []
+    for index in range(2 ** len(names)):
+        assignment = {
+            name: (index >> (len(names) - 1 - position)) & 1
+            for position, name in enumerate(names)
+        }
+        rows.append(expr.evaluate(assignment))
+    return rows

@@ -1,0 +1,299 @@
+"""Two-level logic minimisation.
+
+Two minimisers are provided, both consuming a :class:`TruthTable` or a
+:class:`Cover` and producing a reduced :class:`Cover`:
+
+* :func:`minimize_exact` — Quine–McCluskey prime-implicant generation per
+  output (with don't-care exploitation) followed by essential-prime selection
+  and a branch-and-bound cover of the remainder (falling back to a greedy
+  cover above a size threshold).  Identical input parts across outputs are
+  merged afterwards so the PLA can share product terms.
+* :func:`minimize_heuristic` — an iterative-consensus / expand-and-reduce
+  loop in the spirit of espresso, cheaper on large inputs.
+
+Experiment E4 measures how much PLA area these save over the raw canonical
+cover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.logic.cube import Cover, Cube
+from repro.logic.truth_table import TruthTable
+
+Source = Union[TruthTable, Cover]
+
+
+# -- public API -------------------------------------------------------------------
+
+
+def minimize(source: Source, method: str = "exact") -> Cover:
+    """Minimise a truth table or cover using the named method."""
+    if method == "exact":
+        return minimize_exact(source)
+    if method in ("heuristic", "consensus", "espresso"):
+        return minimize_heuristic(source)
+    if method in ("none", "canonical"):
+        return _as_cover(source)
+    raise ValueError(f"unknown minimisation method {method!r}")
+
+
+def minimize_exact(source: Source, branch_limit: int = 18) -> Cover:
+    """Quine–McCluskey minimisation (per output, then product-term sharing)."""
+    on_sets, dc_sets, input_names, output_names, num_inputs = _decompose(source)
+    per_output_cubes: Dict[str, List[str]] = {}
+    for column, output_name in enumerate(output_names):
+        on_set = on_sets[column]
+        dc_set = dc_sets[column]
+        if not on_set:
+            per_output_cubes[output_name] = []
+            continue
+        primes = _prime_implicants(on_set | dc_set, num_inputs)
+        chosen = _select_cover(on_set, primes, num_inputs, branch_limit)
+        per_output_cubes[output_name] = chosen
+    return _share_terms(per_output_cubes, input_names, output_names)
+
+
+def minimize_heuristic(source: Source, max_passes: int = 8) -> Cover:
+    """Iterative consensus / merge-and-absorb minimisation.
+
+    Cheaper than exact minimisation and usually close in quality; used for
+    large PLAs and as the ablation point in experiment E4.
+    """
+    cover = _as_cover(source)
+    cubes: List[Cube] = list(cover.cubes)
+    for _ in range(max_passes):
+        merged_any = False
+        # Merge pass: combine distance-1 cube pairs with identical outputs.
+        result: List[Cube] = []
+        used = [False] * len(cubes)
+        for i in range(len(cubes)):
+            if used[i]:
+                continue
+            merged_cube = None
+            for j in range(i + 1, len(cubes)):
+                if used[j]:
+                    continue
+                candidate = cubes[i].merged(cubes[j])
+                if candidate is not None:
+                    merged_cube = candidate
+                    used[i] = used[j] = True
+                    merged_any = True
+                    break
+            result.append(merged_cube if merged_cube is not None else cubes[i])
+        cubes = _absorb(result)
+        if not merged_any:
+            break
+    reduced = Cover(cover.input_names, cover.output_names, cubes)
+    return reduced
+
+
+# -- decomposition helpers -----------------------------------------------------------
+
+
+def _as_cover(source: Source) -> Cover:
+    if isinstance(source, TruthTable):
+        return source.to_cover()
+    return source.copy()
+
+
+def _decompose(source: Source) -> Tuple[List[Set[int]], List[Set[int]], List[str], List[str], int]:
+    """Extract per-output on-sets and dc-sets as minterm integer sets."""
+    if isinstance(source, TruthTable):
+        input_names = list(source.input_names)
+        output_names = list(source.output_names)
+        num_inputs = source.num_inputs
+        on_sets = [set(source.on_set(name)) for name in output_names]
+        dc_sets = [set(source.dc_set(name)) for name in output_names]
+        return on_sets, dc_sets, input_names, output_names, num_inputs
+    cover = source
+    input_names = list(cover.input_names)
+    output_names = list(cover.output_names)
+    num_inputs = cover.num_inputs
+    on_sets = [set(cover.on_set(name)) for name in output_names]
+    dc_sets: List[Set[int]] = [set() for _ in output_names]
+    return on_sets, dc_sets, input_names, output_names, num_inputs
+
+
+# -- Quine-McCluskey core --------------------------------------------------------------
+
+
+def _minterm_to_cube_string(minterm: int, num_inputs: int) -> str:
+    return format(minterm, f"0{num_inputs}b")
+
+
+def _combine(a: str, b: str) -> Optional[str]:
+    """Merge two implicant strings differing in exactly one specified bit."""
+    difference = 0
+    result = []
+    for bit_a, bit_b in zip(a, b):
+        if bit_a == bit_b:
+            result.append(bit_a)
+        elif "-" in (bit_a, bit_b):
+            return None
+        else:
+            difference += 1
+            result.append("-")
+            if difference > 1:
+                return None
+    return "".join(result) if difference == 1 else None
+
+
+def _prime_implicants(care_set: Set[int], num_inputs: int) -> List[str]:
+    """All prime implicants of the given care set (on-set plus don't-cares)."""
+    if num_inputs == 0:
+        return []
+    current = {_minterm_to_cube_string(m, num_inputs) for m in care_set}
+    primes: Set[str] = set()
+    while current:
+        next_level: Set[str] = set()
+        combined: Set[str] = set()
+        current_list = sorted(current)
+        # Group by number of ones to limit pair comparisons, as in the
+        # textbook algorithm.
+        by_ones: Dict[int, List[str]] = {}
+        for implicant in current_list:
+            by_ones.setdefault(implicant.count("1"), []).append(implicant)
+        for ones, group in sorted(by_ones.items()):
+            for candidate_a in group:
+                for candidate_b in by_ones.get(ones + 1, []):
+                    merged = _combine(candidate_a, candidate_b)
+                    if merged is not None:
+                        next_level.add(merged)
+                        combined.add(candidate_a)
+                        combined.add(candidate_b)
+        primes |= current - combined
+        current = next_level
+    return sorted(primes)
+
+
+def _cube_covers(implicant: str, minterm: int) -> bool:
+    num_inputs = len(implicant)
+    for position, ch in enumerate(implicant):
+        bit = (minterm >> (num_inputs - 1 - position)) & 1
+        if ch == "0" and bit != 0:
+            return False
+        if ch == "1" and bit != 1:
+            return False
+    return True
+
+
+def _select_cover(on_set: Set[int], primes: List[str], num_inputs: int,
+                  branch_limit: int) -> List[str]:
+    """Choose a subset of primes covering the on-set.
+
+    Essential primes are taken first; the residual covering problem is solved
+    exactly by branch and bound when small, greedily otherwise.
+    """
+    uncovered = set(on_set)
+    coverage: Dict[str, Set[int]] = {
+        prime: {m for m in on_set if _cube_covers(prime, m)} for prime in primes
+    }
+    chosen: List[str] = []
+
+    # Essential primes: minterms covered by exactly one prime.
+    changed = True
+    while changed and uncovered:
+        changed = False
+        for minterm in list(uncovered):
+            covering = [prime for prime in primes if minterm in coverage[prime]]
+            if len(covering) == 1:
+                prime = covering[0]
+                if prime not in chosen:
+                    chosen.append(prime)
+                uncovered -= coverage[prime]
+                changed = True
+                break
+
+    if not uncovered:
+        return chosen
+
+    remaining_primes = [prime for prime in primes if prime not in chosen and coverage[prime] & uncovered]
+    if len(remaining_primes) <= branch_limit:
+        best = _branch_and_bound(uncovered, remaining_primes, coverage)
+    else:
+        best = _greedy_cover(uncovered, remaining_primes, coverage)
+    return chosen + best
+
+
+def _greedy_cover(uncovered: Set[int], primes: List[str],
+                  coverage: Dict[str, Set[int]]) -> List[str]:
+    chosen: List[str] = []
+    remaining = set(uncovered)
+    while remaining:
+        best_prime = max(
+            primes,
+            key=lambda prime: (len(coverage[prime] & remaining), prime.count("-")),
+        )
+        gained = coverage[best_prime] & remaining
+        if not gained:
+            raise RuntimeError("greedy cover failed to make progress")
+        chosen.append(best_prime)
+        remaining -= gained
+    return chosen
+
+
+def _branch_and_bound(uncovered: Set[int], primes: List[str],
+                      coverage: Dict[str, Set[int]]) -> List[str]:
+    best_solution: List[List[str]] = [list(primes)]
+
+    def recurse(remaining: FrozenSet[int], available: Tuple[str, ...], chosen: List[str]) -> None:
+        if len(chosen) >= len(best_solution[0]):
+            return
+        if not remaining:
+            best_solution[0] = list(chosen)
+            return
+        # Branch on the hardest minterm (fewest covering primes) for pruning.
+        target = min(remaining, key=lambda m: sum(1 for p in available if m in coverage[p]))
+        candidates = [p for p in available if target in coverage[p]]
+        if not candidates:
+            return
+        for prime in candidates:
+            recurse(
+                remaining - frozenset(coverage[prime]),
+                tuple(p for p in available if p != prime),
+                chosen + [prime],
+            )
+
+    recurse(frozenset(uncovered), tuple(primes), [])
+    return best_solution[0]
+
+
+# -- multi-output assembly ----------------------------------------------------------------
+
+
+def _share_terms(per_output_cubes: Dict[str, List[str]], input_names: List[str],
+                 output_names: List[str]) -> Cover:
+    """Merge per-output implicants with identical input parts into shared cubes."""
+    by_input: Dict[str, List[str]] = {}
+    for column, output_name in enumerate(output_names):
+        for implicant in per_output_cubes.get(output_name, []):
+            by_input.setdefault(implicant, []).append(output_name)
+    cover = Cover(input_names, output_names)
+    for input_part in sorted(by_input):
+        outputs = by_input[input_part]
+        output_part = "".join("1" if name in outputs else "0" for name in output_names)
+        cover.add_term(input_part, output_part)
+    return cover
+
+
+def _absorb(cubes: List[Cube]) -> List[Cube]:
+    """Remove cubes whose input part is contained in another cube driving the
+    same (or a superset of) outputs."""
+    result: List[Cube] = []
+    for i, cube in enumerate(cubes):
+        absorbed = False
+        for j, other in enumerate(cubes):
+            if i == j:
+                continue
+            outputs_cover = all(
+                o_other == "1" or o_cube == "0"
+                for o_cube, o_other in zip(cube.outputs, other.outputs)
+            )
+            if outputs_cover and other.input_contains(cube) and (other.inputs != cube.inputs or j < i):
+                absorbed = True
+                break
+        if not absorbed:
+            result.append(cube)
+    return result

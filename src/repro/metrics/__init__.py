@@ -1,0 +1,17 @@
+"""Design metrics and report formatting for the experiment harness."""
+
+from repro.metrics.report import (
+    DesignMetrics,
+    measure_cell,
+    wire_length_estimate,
+    format_table,
+    speed_estimate_ns,
+)
+
+__all__ = [
+    "DesignMetrics",
+    "measure_cell",
+    "wire_length_estimate",
+    "format_table",
+    "speed_estimate_ns",
+]

@@ -1,0 +1,115 @@
+"""Metrics: the numbers the evaluation section of a 1979 DA paper reports.
+
+Area (in square lambda and square millimetres), transistor counts, wire
+length, regularity, estimated speed from the technology's inverter pair
+delay, and simple fixed-width table formatting so every benchmark prints
+rows the way the paper's tables would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.geometry.path import Path
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.layout.stats import cell_statistics
+from repro.technology.technology import Technology
+
+
+@dataclass
+class DesignMetrics:
+    """Summary metrics for one layout block."""
+
+    name: str
+    width_lambda: int
+    height_lambda: int
+    area_sq_lambda: int
+    area_sq_mm: float
+    mask_area_sq_lambda: int
+    density: float
+    regularity: float
+    hierarchy_depth: int
+    distinct_cells: int
+    wire_length_lambda: int
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            str(self.width_lambda),
+            str(self.height_lambda),
+            str(self.area_sq_lambda),
+            f"{self.area_sq_mm:.3f}",
+            f"{self.density:.2f}",
+            f"{self.regularity:.1f}",
+            str(self.hierarchy_depth),
+        ]
+
+    @staticmethod
+    def header() -> List[str]:
+        return ["block", "width", "height", "area(l^2)", "area(mm^2)",
+                "density", "regularity", "depth"]
+
+
+def measure_cell(cell: Cell, technology: Technology) -> DesignMetrics:
+    """Compute the standard metrics for a cell."""
+    stats = cell_statistics(cell)
+    lambda_mm = technology.lambda_nm / 1e6
+    area_mm2 = stats.bbox_area * lambda_mm * lambda_mm
+    return DesignMetrics(
+        name=cell.name,
+        width_lambda=stats.bbox_width,
+        height_lambda=stats.bbox_height,
+        area_sq_lambda=stats.bbox_area,
+        area_sq_mm=area_mm2,
+        mask_area_sq_lambda=stats.total_mask_area,
+        density=stats.density(),
+        regularity=stats.regularity,
+        hierarchy_depth=stats.hierarchy_depth,
+        distinct_cells=stats.distinct_cell_count,
+        wire_length_lambda=wire_length_estimate(cell),
+    )
+
+
+def wire_length_estimate(cell: Cell) -> int:
+    """Total centre-line length of all explicit wires in the hierarchy."""
+    flat = flatten_cell(cell)
+    total = 0
+    for shape in flat.shapes:
+        if isinstance(shape.geometry, Path):
+            total += shape.geometry.length
+    return total
+
+
+def speed_estimate_ns(logic_depth: int, technology: Technology,
+                      wire_length_lambda: int = 0) -> float:
+    """Crude cycle-time estimate: logic depth times the inverter pair delay,
+    plus a wire-delay term proportional to the routed length.
+
+    Absolute values are era-scale, not calibrated; only ratios between two
+    designs compiled in the same technology are meaningful (which is how the
+    benchmarks use them).
+    """
+    pair_delay = technology.property("inverter_pair_delay_ns", 30.0)
+    wire_penalty = 0.002 * wire_length_lambda
+    return logic_depth * pair_delay / 2.0 + wire_penalty
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table (the benchmarks print these as their output)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Structural description: netlists, simulators and comparison.
+
+The structural description is the middle of the paper's three views of a
+design (structural / behavioural / physical).  A :class:`Module` is a set of
+nets and component instances (logic gates, transistors, or other modules);
+the package provides an event-driven gate-level simulator, a switch-level
+simulator for transistor networks (as extracted from layout), and a netlist
+isomorphism check used as the LVS step of physical verification.
+"""
+
+from repro.netlist.module import Module, Net, Instance, GateType
+from repro.netlist.gate_sim import GateLevelSimulator, SimulationTrace
+from repro.netlist.switch_sim import SwitchLevelSimulator, Transistor, TransistorKind, SwitchNetwork
+from repro.netlist.compare import compare_netlists, ComparisonResult
+
+__all__ = [
+    "Module",
+    "Net",
+    "Instance",
+    "GateType",
+    "GateLevelSimulator",
+    "SimulationTrace",
+    "SwitchLevelSimulator",
+    "Transistor",
+    "TransistorKind",
+    "SwitchNetwork",
+    "compare_netlists",
+    "ComparisonResult",
+]

@@ -1,0 +1,162 @@
+"""Netlist comparison (the LVS step).
+
+Two comparisons are provided:
+
+* :func:`compare_netlists` — structural comparison of two gate-level
+  modules: same port signature, same gate census and a greedy
+  signature-refinement isomorphism check of the connection graph.
+* :func:`compare_switch_networks` — transistor-level comparison used to
+  check an extracted network against a reference (device census per kind
+  and per-node degree signatures).
+
+Both return a :class:`ComparisonResult` carrying human-readable mismatch
+diagnostics rather than just a boolean, because the interesting output of an
+LVS run is *why* the descriptions disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.module import GateType, Module
+from repro.netlist.switch_sim import SwitchNetwork, TransistorKind
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of a netlist comparison."""
+
+    matches: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.matches
+
+    def explain(self) -> str:
+        if self.matches:
+            return "netlists match"
+        return "netlists differ:\n  " + "\n  ".join(self.mismatches)
+
+
+def compare_netlists(golden: Module, candidate: Module,
+                     check_names: bool = False) -> ComparisonResult:
+    """Compare two gate-level modules structurally."""
+    golden_flat = golden.flattened()
+    candidate_flat = candidate.flattened()
+    mismatches: List[str] = []
+
+    golden_inputs = sorted(golden_flat.input_names())
+    candidate_inputs = sorted(candidate_flat.input_names())
+    if golden_inputs != candidate_inputs:
+        mismatches.append(f"input ports differ: {golden_inputs} vs {candidate_inputs}")
+    golden_outputs = sorted(golden_flat.output_names())
+    candidate_outputs = sorted(candidate_flat.output_names())
+    if golden_outputs != candidate_outputs:
+        mismatches.append(f"output ports differ: {golden_outputs} vs {candidate_outputs}")
+
+    golden_census = golden_flat.count_by_type()
+    candidate_census = candidate_flat.count_by_type()
+    if golden_census != candidate_census:
+        mismatches.append(f"gate census differs: {golden_census} vs {candidate_census}")
+
+    if not mismatches:
+        if not _signatures_match(golden_flat, candidate_flat):
+            mismatches.append("connection graph signatures differ")
+
+    return ComparisonResult(not mismatches, mismatches)
+
+
+def _net_signatures(module: Module) -> Dict[str, Tuple]:
+    """A refinement signature per net: how it is used by gates of each type."""
+    signature: Dict[str, List[Tuple[str, str]]] = {name: [] for name in module.nets}
+    for instance in module.instances:
+        kind = instance.kind_name
+        for port, net in instance.connections.items():
+            role = "out" if port == "out" else "in"
+            signature.setdefault(net, []).append((kind, role))
+    result: Dict[str, Tuple] = {}
+    for name, uses in signature.items():
+        net = module.nets.get(name)
+        # Ports are anchored by NAME: an LVS-style comparison must map input
+        # "a" to input "a", so a design with two inputs swapped is different
+        # even though the unlabelled graphs are isomorphic.
+        if net is not None and (net.is_input or net.is_output):
+            io_flag = ("port", name)
+        else:
+            io_flag = ("internal", "")
+        result[name] = (io_flag, tuple(sorted(uses)))
+    return result
+
+
+def _signatures_match(golden: Module, candidate: Module, rounds: int = 4) -> bool:
+    """Iteratively refined multiset comparison of net signatures.
+
+    This is a necessary (not strictly sufficient) isomorphism test, which in
+    practice distinguishes all the netlists this toolchain produces; the
+    refinement incorporates neighbour signatures so swapped connections are
+    detected.
+    """
+    golden_signature = _net_signatures(golden)
+    candidate_signature = _net_signatures(candidate)
+
+    for _ in range(rounds):
+        if sorted(golden_signature.values()) != sorted(candidate_signature.values()):
+            return False
+        golden_signature = _refine(golden, golden_signature)
+        candidate_signature = _refine(candidate, candidate_signature)
+    return sorted(golden_signature.values()) == sorted(candidate_signature.values())
+
+
+def _refine(module: Module, signature: Dict[str, Tuple]) -> Dict[str, Tuple]:
+    refined: Dict[str, Tuple] = {}
+    neighbour: Dict[str, List[Tuple]] = {name: [] for name in signature}
+    for instance in module.instances:
+        nets = list(instance.connections.values())
+        for net in nets:
+            for other in nets:
+                if other != net:
+                    neighbour.setdefault(net, []).append(signature.get(other, ()))
+    for name, base in signature.items():
+        refined[name] = (base, tuple(sorted(map(repr, neighbour.get(name, [])))))
+    return refined
+
+
+def compare_switch_networks(golden: SwitchNetwork, candidate: SwitchNetwork) -> ComparisonResult:
+    """Compare two transistor networks (extracted vs reference)."""
+    mismatches: List[str] = []
+    golden_census = _device_census(golden)
+    candidate_census = _device_census(candidate)
+    if golden_census != candidate_census:
+        mismatches.append(f"device census differs: {golden_census} vs {candidate_census}")
+
+    golden_degrees = _node_degree_multiset(golden)
+    candidate_degrees = _node_degree_multiset(candidate)
+    if golden_degrees != candidate_degrees:
+        mismatches.append("node connectivity signatures differ")
+    return ComparisonResult(not mismatches, mismatches)
+
+
+def _device_census(network: SwitchNetwork) -> Dict[str, int]:
+    census: Dict[str, int] = {}
+    for device in network.transistors:
+        census[device.kind.value] = census.get(device.kind.value, 0) + 1
+    return census
+
+
+def _node_degree_multiset(network: SwitchNetwork) -> List[Tuple[int, int, int]]:
+    gate_degree: Dict[str, int] = {}
+    channel_degree: Dict[str, int] = {}
+    supply_degree: Dict[str, int] = {}
+    for device in network.transistors:
+        gate_degree[device.gate] = gate_degree.get(device.gate, 0) + 1
+        for node in (device.source, device.drain):
+            channel_degree[node] = channel_degree.get(node, 0) + 1
+            if node in ("vdd", "gnd"):
+                supply_degree[node] = supply_degree.get(node, 0) + 1
+    nodes = set(gate_degree) | set(channel_degree)
+    return sorted(
+        (gate_degree.get(node, 0), channel_degree.get(node, 0),
+         1 if node in ("vdd", "gnd") else 0)
+        for node in nodes
+    )

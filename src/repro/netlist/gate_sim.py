@@ -1,0 +1,221 @@
+"""Event-driven gate-level simulator.
+
+Supports three-valued logic (0, 1, X), combinational convergence within a
+cycle, clocked D flip-flops (one implicit clock) and transparent latches.
+Also reports a unit-delay critical-path estimate per evaluation, which the
+E2 "cost in space and speed" experiment uses as its speed metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.module import GateType, Instance, Module
+
+X = None  # unknown value marker
+
+
+@dataclass
+class SimulationTrace:
+    """Per-cycle record of net values."""
+
+    cycles: List[Dict[str, Optional[int]]] = field(default_factory=list)
+
+    def value(self, cycle: int, net: str) -> Optional[int]:
+        return self.cycles[cycle].get(net)
+
+    def series(self, net: str) -> List[Optional[int]]:
+        return [cycle.get(net) for cycle in self.cycles]
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+class GateLevelSimulator:
+    """Simulate a (flattened) structural module."""
+
+    def __init__(self, module: Module, settle_limit: int = 10000):
+        self.module = module.flattened()
+        problems = [p for p in self.module.validate() if "never driven" not in p]
+        if problems:
+            raise ValueError("netlist is not simulatable: " + "; ".join(problems))
+        self.settle_limit = settle_limit
+        self.values: Dict[str, Optional[int]] = {name: X for name in self.module.nets}
+        self.state: Dict[str, Optional[int]] = {}
+        self._drivers: Dict[str, Instance] = {}
+        self._fanout: Dict[str, List[Instance]] = {}
+        for instance in self.module.instances:
+            output = instance.connections.get("out")
+            if output is not None and not instance.kind.is_sequential:
+                self._drivers[output] = instance
+            for port, net in instance.connections.items():
+                if port != "out":
+                    self._fanout.setdefault(net, []).append(instance)
+        self.last_depth = 0
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _gate_output(self, instance: Instance) -> Optional[int]:
+        gate: GateType = instance.kind
+        inputs = [
+            self.values.get(net)
+            for port, net in sorted(instance.connections.items())
+            if port.startswith("in")
+        ]
+        if gate is GateType.CONST0:
+            return 0
+        if gate is GateType.CONST1:
+            return 1
+        if gate is GateType.MUX2:
+            sel = self.values.get(instance.connections.get("sel", ""))
+            a = self.values.get(instance.connections.get("a", ""))
+            b = self.values.get(instance.connections.get("b", ""))
+            if sel is X:
+                return a if a == b else X
+            return b if sel else a
+        if gate is GateType.LATCH:
+            enable = self.values.get(instance.connections.get("enable", ""))
+            data = self.values.get(instance.connections.get("in0", ""))
+            if enable == 1:
+                self.state[instance.name] = data   # transparent: track the data
+                return data
+            return self.state.get(instance.name, X)
+        if any(value is X for value in inputs):
+            return self._x_result(gate, inputs)
+        if gate in (GateType.AND, GateType.NAND):
+            result = int(all(inputs))
+            return result if gate is GateType.AND else 1 - result
+        if gate in (GateType.OR, GateType.NOR):
+            result = int(any(inputs))
+            return result if gate is GateType.OR else 1 - result
+        if gate in (GateType.XOR, GateType.XNOR):
+            result = sum(inputs) % 2
+            return result if gate is GateType.XOR else 1 - result
+        if gate is GateType.NOT:
+            return 1 - inputs[0]
+        if gate is GateType.BUF:
+            return inputs[0]
+        raise AssertionError(f"unhandled gate {gate}")
+
+    @staticmethod
+    def _x_result(gate: GateType, inputs: List[Optional[int]]) -> Optional[int]:
+        """Partial evaluation with unknowns (controlling values still decide)."""
+        known = [value for value in inputs if value is not X]
+        if gate in (GateType.AND, GateType.NAND) and 0 in known:
+            return 0 if gate is GateType.AND else 1
+        if gate in (GateType.OR, GateType.NOR) and 1 in known:
+            return 1 if gate is GateType.OR else 0
+        return X
+
+    def settle(self) -> int:
+        """Propagate combinational logic to a fixed point; returns the depth."""
+        depth = 0
+        pending: Set[str] = set(self._drivers)
+        iterations = 0
+        changed_nets: Set[str] = set(self.module.nets)
+        while changed_nets:
+            iterations += 1
+            if iterations > self.settle_limit:
+                raise RuntimeError("combinational loop did not settle (oscillation?)")
+            next_changed: Set[str] = set()
+            for instance in self.module.instances:
+                if instance.kind.is_sequential and instance.kind is not GateType.LATCH:
+                    continue
+                input_nets = [net for port, net in instance.connections.items() if port != "out"]
+                if input_nets and not any(net in changed_nets for net in input_nets):
+                    continue
+                output_net = instance.connections.get("out")
+                if output_net is None:
+                    continue
+                new_value = self._gate_output(instance)
+                if new_value != self.values.get(output_net):
+                    self.values[output_net] = new_value
+                    next_changed.add(output_net)
+            if next_changed:
+                depth += 1
+            changed_nets = next_changed
+        self.last_depth = depth
+        return depth
+
+    def set_inputs(self, assignment: Dict[str, int]) -> None:
+        for name, value in assignment.items():
+            if name not in self.module.nets:
+                raise KeyError(f"unknown input net {name!r}")
+            self.values[name] = value if value is X else int(bool(value))
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, Optional[int]]:
+        """Combinational evaluation: set inputs, settle, read outputs."""
+        self.set_inputs(assignment)
+        self.settle()
+        return {name: self.values.get(name) for name in self.module.output_names()}
+
+    def clock(self) -> None:
+        """One clock edge: all DFFs capture their D inputs simultaneously."""
+        captured: Dict[str, Optional[int]] = {}
+        for instance in self.module.instances:
+            if instance.kind is GateType.DFF:
+                data_net = instance.connections.get("in0")
+                captured[instance.name] = self.values.get(data_net)
+        for instance in self.module.instances:
+            if instance.kind is GateType.DFF:
+                output_net = instance.connections.get("out")
+                value = captured[instance.name]
+                self.state[instance.name] = value
+                self.values[output_net] = value
+        self.settle()
+
+    def run(self, input_sequence: Sequence[Dict[str, int]],
+            record: Optional[Iterable[str]] = None) -> SimulationTrace:
+        """Clocked simulation: apply one input vector per cycle."""
+        watch = list(record) if record is not None else (
+            self.module.input_names() + self.module.output_names()
+        )
+        trace = SimulationTrace()
+        for vector in input_sequence:
+            self.set_inputs(vector)
+            self.settle()
+            trace.cycles.append({name: self.values.get(name) for name in watch})
+            self.clock()
+        return trace
+
+    def reset(self, value: int = 0) -> None:
+        """Force all flip-flop states to ``value`` and re-settle."""
+        for instance in self.module.instances:
+            if instance.kind is GateType.DFF:
+                self.state[instance.name] = value
+                self.values[instance.connections["out"]] = value
+        self.settle()
+
+    def critical_path_estimate(self) -> int:
+        """Longest combinational depth (unit delay per gate) in the module."""
+        depth_of: Dict[str, int] = {name: 0 for name in self.module.input_names()}
+        for instance in self.module.instances:
+            if instance.kind is GateType.DFF:
+                depth_of[instance.connections["out"]] = 0
+
+        # Iteratively relax until stable (handles arbitrary topological order).
+        changed = True
+        iterations = 0
+        best = 0
+        while changed:
+            iterations += 1
+            if iterations > len(self.module.instances) + 2:
+                break
+            changed = False
+            for instance in self.module.instances:
+                if instance.kind.is_sequential:
+                    continue
+                output = instance.connections.get("out")
+                if output is None:
+                    continue
+                input_depths = [
+                    depth_of.get(net, 0)
+                    for port, net in instance.connections.items() if port != "out"
+                ]
+                candidate = (max(input_depths) if input_depths else 0) + 1
+                if candidate > depth_of.get(output, 0):
+                    depth_of[output] = candidate
+                    best = max(best, candidate)
+                    changed = True
+        return best

@@ -1,0 +1,202 @@
+"""Switch-level simulation of NMOS transistor networks.
+
+The circuit extractor (:mod:`repro.extract`) produces transistor-level
+netlists from layout; this simulator evaluates them so a compiled chip's
+*physical* description can be checked against its *behavioural* one — the
+closing of the loop the paper asks for ("verification by simulation").
+
+The model is the classic ratioed-NMOS switch model:
+
+* a node driven to VDD through a depletion load is a *weak* 1;
+* a node connected to GND through a path of conducting enhancement
+  transistors is a *strong* 0, which overrides the weak 1 (ratioed logic);
+* pass-transistor paths propagate values without restoring them;
+* nodes with no path to a supply keep their previous value (dynamic charge
+  storage), which is what makes the two-phase register work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+VDD = "vdd"
+GND = "gnd"
+
+
+class TransistorKind(Enum):
+    ENHANCEMENT = "enhancement"
+    DEPLETION = "depletion"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOS device: gate, source, drain node names plus its kind and size."""
+
+    name: str
+    gate: str
+    source: str
+    drain: str
+    kind: TransistorKind = TransistorKind.ENHANCEMENT
+    width: int = 2
+    length: int = 2
+
+    @property
+    def strength(self) -> float:
+        """Drive strength proxy: W/L."""
+        return self.width / max(1, self.length)
+
+
+class SwitchNetwork:
+    """A flat transistor network with named nodes."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.transistors: List[Transistor] = []
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._counter = 0
+
+    def add_transistor(self, gate: str, source: str, drain: str,
+                       kind: TransistorKind = TransistorKind.ENHANCEMENT,
+                       width: int = 2, length: int = 2,
+                       name: Optional[str] = None) -> Transistor:
+        device = Transistor(
+            name or f"m{self._counter}", gate, source, drain, kind, width, length
+        )
+        self._counter += 1
+        self.transistors.append(device)
+        return device
+
+    def add_input(self, name: str) -> None:
+        if name not in self.inputs:
+            self.inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    def nodes(self) -> Set[str]:
+        result: Set[str] = {VDD, GND}
+        for device in self.transistors:
+            result.update((device.gate, device.source, device.drain))
+        result.update(self.inputs)
+        result.update(self.outputs)
+        return result
+
+    def device_count(self) -> int:
+        return len(self.transistors)
+
+    def pullup_count(self) -> int:
+        return sum(1 for t in self.transistors if t.kind is TransistorKind.DEPLETION)
+
+
+class SwitchLevelSimulator:
+    """Evaluate a :class:`SwitchNetwork` with the ratioed-NMOS switch model."""
+
+    def __init__(self, network: SwitchNetwork, settle_limit: int = 200):
+        self.network = network
+        self.settle_limit = settle_limit
+        self.values: Dict[str, Optional[int]] = {node: None for node in network.nodes()}
+        self.values[VDD] = 1
+        self.values[GND] = 0
+
+    def set_inputs(self, assignment: Dict[str, int]) -> None:
+        for name, value in assignment.items():
+            self.values[name] = None if value is None else int(bool(value))
+
+    def evaluate(self, assignment: Optional[Dict[str, int]] = None) -> Dict[str, Optional[int]]:
+        """Settle the network and return the values of the declared outputs."""
+        if assignment:
+            self.set_inputs(assignment)
+        self._settle()
+        return {name: self.values.get(name) for name in self.network.outputs}
+
+    def node_value(self, node: str) -> Optional[int]:
+        return self.values.get(node)
+
+    # -- internal ------------------------------------------------------------------------
+
+    def _conducting(self, device: Transistor) -> bool:
+        if device.kind is TransistorKind.DEPLETION:
+            return True   # depletion devices conduct regardless of gate voltage
+        gate_value = self.values.get(device.gate)
+        return gate_value == 1
+
+    def _settle(self) -> None:
+        # Only inputs that have actually been given a value act as drivers; an
+        # undriven "inout" terminal (e.g. the far side of a pass transistor)
+        # must be free to take whatever value the network gives it.
+        clamped = {name for name in self.network.inputs
+                   if self.values.get(name) is not None} | {VDD, GND}
+        for _ in range(self.settle_limit):
+            changed = False
+            groups = self._conducting_groups(clamped)
+            for group in groups:
+                new_value = self._resolve_group(group, clamped)
+                for node in group:
+                    if node in clamped:
+                        continue
+                    if self.values.get(node) != new_value and new_value is not None:
+                        self.values[node] = new_value
+                        changed = True
+            if not changed:
+                return
+        raise RuntimeError("switch-level simulation did not settle")
+
+    def _conducting_groups(self, clamped: Set[str]) -> List[Set[str]]:
+        """Connected components of nodes joined by conducting channels.
+
+        Supply nodes and clamped inputs terminate the merge: they belong to a
+        group but do not merge two groups into one through themselves.
+        """
+        parent: Dict[str, str] = {node: node for node in self.network.nodes()}
+
+        def find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        for device in self.network.transistors:
+            if not self._conducting(device):
+                continue
+            source, drain = device.source, device.drain
+            # Merging across a clamped node would short distinct signal nets
+            # through an input; only merge if at most one side is clamped.
+            union(source, drain)
+
+        groups: Dict[str, Set[str]] = {}
+        for node in self.network.nodes():
+            groups.setdefault(find(node), set()).add(node)
+        return list(groups.values())
+
+    def _resolve_group(self, group: Set[str], clamped: Set[str]) -> Optional[int]:
+        """Resolve the value of a connected group of nodes.
+
+        Strength order: GND (strong 0) > VDD via depletion (weak 1) >
+        clamped input value > stored charge.
+        """
+        if GND in group and VDD in group:
+            # Ratioed fight: pulldown path wins (that is what ratioing means).
+            return 0
+        if GND in group:
+            return 0
+        if VDD in group:
+            return 1
+        clamped_values = {self.values[node] for node in group if node in clamped
+                          and self.values.get(node) is not None}
+        if len(clamped_values) == 1:
+            return clamped_values.pop()
+        if len(clamped_values) > 1:
+            return None   # conflicting drivers through pass transistors
+        stored = [self.values[node] for node in group if self.values.get(node) is not None]
+        if stored and all(value == stored[0] for value in stored):
+            return stored[0]
+        return None

@@ -1,0 +1,49 @@
+"""Behavioural register-transfer language (ISPS-like).
+
+The second definition of silicon compilation the paper discusses "takes a
+behavioural description of a system and maps it onto a physical structure".
+This package provides that behavioural description: a small register
+transfer language with declarations (inputs, outputs, registers, memories),
+clocked transfers, combinational assignments and conditionals; a simulator
+(compile-and-execute verification, as the RTL tradition the paper cites
+does); and a compiler that maps the behaviour onto a structural netlist and
+then onto layout via the generators.
+"""
+
+from repro.rtl.ast import (
+    MachineDescription,
+    Declaration,
+    DeclKind,
+    Assignment,
+    IfStatement,
+    Block,
+    BinaryOp,
+    UnaryOp,
+    Identifier,
+    Constant,
+    BitSelect,
+    MemoryAccess,
+)
+from repro.rtl.parser import parse_rtl, RtlSyntaxError
+from repro.rtl.simulator import RtlSimulator
+from repro.rtl.compiler import RtlCompiler, CompiledMachine
+
+__all__ = [
+    "MachineDescription",
+    "Declaration",
+    "DeclKind",
+    "Assignment",
+    "IfStatement",
+    "Block",
+    "BinaryOp",
+    "UnaryOp",
+    "Identifier",
+    "Constant",
+    "BitSelect",
+    "MemoryAccess",
+    "parse_rtl",
+    "RtlSyntaxError",
+    "RtlSimulator",
+    "RtlCompiler",
+    "CompiledMachine",
+]

@@ -1,0 +1,335 @@
+"""Parser for the register-transfer language.
+
+The concrete syntax is a compact ISPS-flavoured notation::
+
+    machine counter;
+    input  load[1], data[8];
+    output q[8];
+    register count[8];
+
+    always begin
+        if (load) count <- data;
+        else count <- count + 1;
+        q = count;
+    end
+
+Clocked transfers use ``<-``; combinational (wire/output) assignments use
+``=``.  Memories are declared ``memory m[depth][width]`` and indexed
+``m[address_expression]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.rtl.ast import (
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Concatenate,
+    Constant,
+    Declaration,
+    DeclKind,
+    Expression,
+    Identifier,
+    IfStatement,
+    MachineDescription,
+    MemoryAccess,
+    Statement,
+    UnaryOp,
+)
+
+
+class RtlSyntaxError(ValueError):
+    """Raised on malformed RTL text, with line information."""
+
+
+_TOKEN_SPEC = [
+    ("comment", r"//[^\n]*|#[^\n]*"),
+    ("number", r"0x[0-9a-fA-F]+|0b[01]+|[0-9]+"),
+    ("name", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("transfer", r"<-"),
+    ("op", r"==|!=|<=|>=|<<|>>|&&|\|\||[-+*&|^~!<>=(){}\[\],;:]"),
+    ("newline", r"\n"),
+    ("space", r"[ \t\r]+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"machine", "input", "output", "register", "wire", "memory",
+             "always", "begin", "end", "if", "else"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise RtlSyntaxError(f"line {line}: unexpected character {text[position]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("space", "comment"):
+            continue
+        if kind == "name" and value in _KEYWORDS:
+            tokens.append(_Token("keyword", value, line))
+        else:
+            tokens.append(_Token(kind, value, line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            expected = text if text is not None else kind
+            raise RtlSyntaxError(
+                f"line {actual.line}: expected {expected!r}, found {actual.text!r}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_machine(self) -> MachineDescription:
+        self.expect("keyword", "machine")
+        name = self.expect("name").text
+        self.expect("op", ";")
+        machine = MachineDescription(name)
+        while self.peek().kind == "keyword" and self.peek().text in (
+            "input", "output", "register", "wire", "memory"
+        ):
+            self._parse_declaration_line(machine)
+        self.expect("keyword", "always")
+        machine.body = self._parse_block()
+        self.expect("eof")
+        return machine
+
+    def _parse_declaration_line(self, machine: MachineDescription) -> None:
+        kind_token = self.advance()
+        kind = DeclKind(kind_token.text)
+        while True:
+            name = self.expect("name").text
+            self.expect("op", "[")
+            first = self._parse_integer()
+            self.expect("op", "]")
+            depth = 0
+            width = first
+            if kind is DeclKind.MEMORY:
+                self.expect("op", "[")
+                width = self._parse_integer()
+                self.expect("op", "]")
+                depth = first
+            machine.declare(kind, name, width, depth)
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+
+    def _parse_integer(self) -> int:
+        token = self.expect("number")
+        return _parse_number(token.text)
+
+    def _parse_block(self) -> Block:
+        self.expect("keyword", "begin")
+        statements: List[Statement] = []
+        while not self.accept("keyword", "end"):
+            statements.append(self._parse_statement())
+        return Block(tuple(statements))
+
+    def _parse_statement(self) -> Statement:
+        if self.peek().kind == "keyword" and self.peek().text == "begin":
+            return self._parse_block()
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            condition = self._parse_expression()
+            self.expect("op", ")")
+            then_branch = self._statement_as_block(self._parse_statement())
+            else_branch: Optional[Block] = None
+            if self.accept("keyword", "else"):
+                else_branch = self._statement_as_block(self._parse_statement())
+            return IfStatement(condition, then_branch, else_branch)
+        return self._parse_assignment()
+
+    @staticmethod
+    def _statement_as_block(statement: Statement) -> Block:
+        if isinstance(statement, Block):
+            return statement
+        return Block((statement,))
+
+    def _parse_assignment(self) -> Assignment:
+        target = self._parse_primary(allow_target=True)
+        if not isinstance(target, (Identifier, BitSelect, MemoryAccess)):
+            raise RtlSyntaxError(
+                f"line {self.peek().line}: assignment target must be a name, "
+                "bit-select or memory reference"
+            )
+        if self.accept("transfer"):
+            clocked = True
+        else:
+            self.expect("op", "=")
+            clocked = False
+        value = self._parse_expression()
+        self.expect("op", ";")
+        return Assignment(target, value, clocked)
+
+    # Expression grammar (precedence climbing, lowest first).
+    def _parse_expression(self) -> Expression:
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self) -> Expression:
+        left = self._parse_logical_and()
+        while self.peek().kind == "op" and self.peek().text == "||":
+            self.advance()
+            left = BinaryOp("||", left, self._parse_logical_and())
+        return left
+
+    def _parse_logical_and(self) -> Expression:
+        left = self._parse_bitwise_or()
+        while self.peek().kind == "op" and self.peek().text == "&&":
+            self.advance()
+            left = BinaryOp("&&", left, self._parse_bitwise_or())
+        return left
+
+    def _parse_bitwise_or(self) -> Expression:
+        left = self._parse_bitwise_xor()
+        while self.peek().kind == "op" and self.peek().text == "|":
+            self.advance()
+            left = BinaryOp("|", left, self._parse_bitwise_xor())
+        return left
+
+    def _parse_bitwise_xor(self) -> Expression:
+        left = self._parse_bitwise_and()
+        while self.peek().kind == "op" and self.peek().text == "^":
+            self.advance()
+            left = BinaryOp("^", left, self._parse_bitwise_and())
+        return left
+
+    def _parse_bitwise_and(self) -> Expression:
+        left = self._parse_comparison()
+        while self.peek().kind == "op" and self.peek().text == "&":
+            self.advance()
+            left = BinaryOp("&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_shift()
+        while self.peek().kind == "op" and self.peek().text in ("==", "!=", "<", "<=", ">", ">="):
+            operator = self.advance().text
+            left = BinaryOp(operator, left, self._parse_shift())
+        return left
+
+    def _parse_shift(self) -> Expression:
+        left = self._parse_additive()
+        while self.peek().kind == "op" and self.peek().text in ("<<", ">>"):
+            operator = self.advance().text
+            left = BinaryOp(operator, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_unary()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            operator = self.advance().text
+            left = BinaryOp(operator, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("~", "-", "!"):
+            self.advance()
+            return UnaryOp(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self, allow_target: bool = False) -> Expression:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return Constant(_parse_number(token.text))
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self._parse_expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "op" and token.text == "{":
+            self.advance()
+            parts = [self._parse_expression()]
+            while self.accept("op", ","):
+                parts.append(self._parse_expression())
+            self.expect("op", "}")
+            return Concatenate(tuple(parts))
+        if token.kind == "name":
+            self.advance()
+            name = token.text
+            if self.accept("op", "["):
+                first = self._parse_expression()
+                if self.accept("op", ":"):
+                    second = self._parse_expression()
+                    self.expect("op", "]")
+                    high = _require_constant(first, token.line)
+                    low = _require_constant(second, token.line)
+                    return BitSelect(Identifier(name), high, low)
+                self.expect("op", "]")
+                if isinstance(first, Constant):
+                    return BitSelect(Identifier(name), first.value, first.value)
+                return MemoryAccess(name, first)
+            return Identifier(name)
+        raise RtlSyntaxError(f"line {token.line}: unexpected token {token.text!r}")
+
+
+def _require_constant(expression: Expression, line: int) -> int:
+    if not isinstance(expression, Constant):
+        raise RtlSyntaxError(f"line {line}: bit-range bounds must be constants")
+    return expression.value
+
+
+def _parse_number(text: str) -> int:
+    if text.startswith("0x") or text.startswith("0X"):
+        return int(text, 16)
+    if text.startswith("0b") or text.startswith("0B"):
+        return int(text, 2)
+    return int(text, 10)
+
+
+def parse_rtl(text: str) -> MachineDescription:
+    """Parse RTL source text into a :class:`MachineDescription`."""
+    return _Parser(_tokenize(text)).parse_machine()

@@ -1,0 +1,266 @@
+"""Behavioural simulation of RTL machines.
+
+"By providing simulation, via compilation and execution of the RTL
+description ... it has been possible to construct hardware automatically."
+The simulator executes one machine cycle at a time: combinational
+assignments take effect immediately (in textual order), clocked transfers
+(``<-``) are collected and applied together at the end of the cycle, and
+memories behave as word-addressable arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.rtl.ast import (
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Concatenate,
+    Constant,
+    Declaration,
+    DeclKind,
+    Expression,
+    Identifier,
+    IfStatement,
+    MachineDescription,
+    MemoryAccess,
+    Statement,
+    UnaryOp,
+)
+
+
+class RtlSimulator:
+    """Execute a machine description cycle by cycle."""
+
+    def __init__(self, machine: MachineDescription):
+        self.machine = machine
+        self.values: Dict[str, int] = {}
+        self.memories: Dict[str, List[int]] = {}
+        for declaration in machine.declarations.values():
+            if declaration.kind is DeclKind.MEMORY:
+                self.memories[declaration.name] = [0] * declaration.depth
+            else:
+                self.values[declaration.name] = 0
+        self.cycle_count = 0
+
+    # -- state access ----------------------------------------------------------------
+
+    def set_register(self, name: str, value: int) -> None:
+        declaration = self.machine.declaration(name)
+        if declaration.kind is DeclKind.MEMORY:
+            raise ValueError(f"{name!r} is a memory; use load_memory")
+        self.values[name] = value & declaration.mask
+
+    def get(self, name: str) -> int:
+        if name in self.values:
+            return self.values[name]
+        raise KeyError(f"no such signal {name!r}")
+
+    def load_memory(self, name: str, contents: Sequence[int], offset: int = 0) -> None:
+        declaration = self.machine.declaration(name)
+        if declaration.kind is not DeclKind.MEMORY:
+            raise ValueError(f"{name!r} is not a memory")
+        storage = self.memories[name]
+        for index, word in enumerate(contents):
+            address = offset + index
+            if address >= len(storage):
+                raise IndexError(f"memory {name!r} overflow at address {address}")
+            storage[address] = word & declaration.mask
+
+    def read_memory(self, name: str, address: int) -> int:
+        return self.memories[name][address]
+
+    # -- execution ----------------------------------------------------------------------
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """Run one machine cycle and return the output values."""
+        if inputs:
+            for name, value in inputs.items():
+                declaration = self.machine.declaration(name)
+                if declaration.kind is not DeclKind.INPUT:
+                    raise ValueError(f"{name!r} is not an input")
+                self.values[name] = value & declaration.mask
+
+        pending_registers: Dict[str, int] = {}
+        pending_memory_writes: List[Tuple[str, int, int]] = []
+        self._execute_block(self.machine.body, pending_registers, pending_memory_writes)
+
+        for name, value in pending_registers.items():
+            declaration = self.machine.declaration(name)
+            self.values[name] = value & declaration.mask
+        for memory_name, address, value in pending_memory_writes:
+            declaration = self.machine.declaration(memory_name)
+            storage = self.memories[memory_name]
+            if 0 <= address < len(storage):
+                storage[address] = value & declaration.mask
+
+        self.cycle_count += 1
+        return {d.name: self.values[d.name] for d in self.machine.outputs}
+
+    def run(self, cycles: int, inputs: Optional[Sequence[Dict[str, int]]] = None
+            ) -> List[Dict[str, int]]:
+        """Run several cycles; ``inputs`` optionally supplies one dict per cycle."""
+        trace: List[Dict[str, int]] = []
+        for cycle in range(cycles):
+            vector = inputs[cycle] if inputs is not None and cycle < len(inputs) else None
+            trace.append(self.step(vector))
+        return trace
+
+    # -- statement execution --------------------------------------------------------------
+
+    def _execute_block(self, block: Block, pending: Dict[str, int],
+                       memory_writes: List[Tuple[str, int, int]]) -> None:
+        for statement in block:
+            self._execute_statement(statement, pending, memory_writes)
+
+    def _execute_statement(self, statement: Statement, pending: Dict[str, int],
+                           memory_writes: List[Tuple[str, int, int]]) -> None:
+        if isinstance(statement, Block):
+            self._execute_block(statement, pending, memory_writes)
+        elif isinstance(statement, IfStatement):
+            if self._evaluate(statement.condition, pending):
+                self._execute_block(statement.then_branch, pending, memory_writes)
+            elif statement.else_branch is not None:
+                self._execute_block(statement.else_branch, pending, memory_writes)
+        elif isinstance(statement, Assignment):
+            self._execute_assignment(statement, pending, memory_writes)
+        else:
+            raise TypeError(f"unknown statement type {type(statement).__name__}")
+
+    def _execute_assignment(self, assignment: Assignment, pending: Dict[str, int],
+                            memory_writes: List[Tuple[str, int, int]]) -> None:
+        value = self._evaluate(assignment.value, pending)
+        target = assignment.target
+        if isinstance(target, MemoryAccess):
+            address = self._evaluate(target.address, pending)
+            memory_writes.append((target.memory, address, value))
+            return
+        if isinstance(target, BitSelect):
+            base = target.operand
+            if not isinstance(base, Identifier):
+                raise ValueError("bit-select assignment target must be a plain name")
+            name = base.name
+            declaration = self.machine.declaration(name)
+            current = pending.get(name, self.values.get(name, 0)) if assignment.clocked \
+                else self.values.get(name, 0)
+            width = target.high - target.low + 1
+            mask = ((1 << width) - 1) << target.low
+            new_value = (current & ~mask) | ((value << target.low) & mask)
+            if assignment.clocked:
+                pending[name] = new_value & declaration.mask
+            else:
+                self.values[name] = new_value & declaration.mask
+            return
+        name = target.name
+        declaration = self.machine.declaration(name)
+        if assignment.clocked:
+            if declaration.kind not in (DeclKind.REGISTER, DeclKind.OUTPUT):
+                raise ValueError(f"clocked transfer to non-register {name!r}")
+            pending[name] = value & declaration.mask
+        else:
+            if declaration.kind is DeclKind.REGISTER:
+                raise ValueError(f"combinational assignment to register {name!r}; use <-")
+            self.values[name] = value & declaration.mask
+
+    # -- expression evaluation ----------------------------------------------------------------
+
+    def _evaluate(self, expression: Expression, pending: Dict[str, int]) -> int:
+        if isinstance(expression, Constant):
+            return expression.value
+        if isinstance(expression, Identifier):
+            if expression.name not in self.values:
+                raise KeyError(f"undeclared signal {expression.name!r}")
+            return self.values[expression.name]
+        if isinstance(expression, BitSelect):
+            base = self._evaluate(expression.operand, pending)
+            width = expression.high - expression.low + 1
+            return (base >> expression.low) & ((1 << width) - 1)
+        if isinstance(expression, MemoryAccess):
+            address = self._evaluate(expression.address, pending)
+            storage = self.memories.get(expression.memory)
+            if storage is None:
+                raise KeyError(f"undeclared memory {expression.memory!r}")
+            if not 0 <= address < len(storage):
+                return 0
+            return storage[address]
+        if isinstance(expression, Concatenate):
+            value = 0
+            for part in expression.parts:
+                part_width = self._width_of(part)
+                value = (value << part_width) | (self._evaluate(part, pending)
+                                                 & ((1 << part_width) - 1))
+            return value
+        if isinstance(expression, UnaryOp):
+            operand = self._evaluate(expression.operand, pending)
+            width = self._width_of(expression.operand)
+            mask = (1 << width) - 1
+            if expression.operator == "~":
+                return (~operand) & mask
+            if expression.operator == "-":
+                return (-operand) & mask
+            if expression.operator == "!":
+                return 0 if operand else 1
+            raise ValueError(f"unknown unary operator {expression.operator!r}")
+        if isinstance(expression, BinaryOp):
+            left = self._evaluate(expression.left, pending)
+            right = self._evaluate(expression.right, pending)
+            width = max(self._width_of(expression.left), self._width_of(expression.right))
+            mask = (1 << width) - 1
+            op = expression.operator
+            if op == "+":
+                return (left + right) & mask
+            if op == "-":
+                return (left - right) & mask
+            if op == "*":
+                return (left * right) & mask
+            if op == "&":
+                return left & right
+            if op == "|":
+                return left | right
+            if op == "^":
+                return left ^ right
+            if op == "==":
+                return int(left == right)
+            if op == "!=":
+                return int(left != right)
+            if op == "<":
+                return int(left < right)
+            if op == "<=":
+                return int(left <= right)
+            if op == ">":
+                return int(left > right)
+            if op == ">=":
+                return int(left >= right)
+            if op == "<<":
+                return (left << right) & mask
+            if op == ">>":
+                return left >> right
+            if op == "&&":
+                return int(bool(left) and bool(right))
+            if op == "||":
+                return int(bool(left) or bool(right))
+            raise ValueError(f"unknown binary operator {op!r}")
+        raise TypeError(f"unknown expression type {type(expression).__name__}")
+
+    def _width_of(self, expression: Expression) -> int:
+        if isinstance(expression, Identifier):
+            return self.machine.declaration(expression.name).width
+        if isinstance(expression, Constant):
+            if expression.width is not None:
+                return expression.width
+            return max(1, expression.value.bit_length())
+        if isinstance(expression, BitSelect):
+            return expression.width
+        if isinstance(expression, MemoryAccess):
+            return self.machine.declaration(expression.memory).width
+        if isinstance(expression, Concatenate):
+            return sum(self._width_of(part) for part in expression.parts)
+        if isinstance(expression, UnaryOp):
+            return self._width_of(expression.operand)
+        if isinstance(expression, BinaryOp):
+            if expression.operator in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return 1
+            return max(self._width_of(expression.left), self._width_of(expression.right))
+        raise TypeError(f"unknown expression type {type(expression).__name__}")

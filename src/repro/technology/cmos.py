@@ -1,0 +1,86 @@
+"""A scalable single-metal CMOS technology.
+
+Included to demonstrate that the compiler retargets across processes by
+swapping the :class:`~repro.technology.technology.Technology` object, which
+is the claim behind lambda-based rules.  The generators in this repository
+primarily target NMOS (as the 1979 work did); the CMOS description is used
+by retargeting tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.technology.layers import Layer, LayerPurpose, LayerSet
+from repro.technology.rules import DesignRule, RuleKind, RuleSet
+from repro.technology.technology import Technology
+
+NWELL = "nwell"
+ACTIVE = "active"
+PSELECT = "pselect"
+NSELECT = "nselect"
+POLY = "poly"
+CONTACT = "contact"
+METAL = "metal"
+OVERGLASS = "overglass"
+LABEL = "label"
+
+
+def _cmos_layers() -> LayerSet:
+    return LayerSet(
+        [
+            Layer(NWELL, "CWN", LayerPurpose.WELL, gds_number=42),
+            Layer(ACTIVE, "CAA", LayerPurpose.DIFFUSION, gds_number=43),
+            Layer(PSELECT, "CSP", LayerPurpose.IMPLANT, gds_number=44),
+            Layer(NSELECT, "CSN", LayerPurpose.IMPLANT, gds_number=45),
+            Layer(POLY, "CPG", LayerPurpose.POLY, gds_number=46),
+            Layer(CONTACT, "CC", LayerPurpose.CONTACT, gds_number=47),
+            Layer(METAL, "CMF", LayerPurpose.METAL, gds_number=49),
+            Layer(OVERGLASS, "COG", LayerPurpose.OVERGLASS, gds_number=52),
+            Layer(LABEL, "XL", LayerPurpose.LABEL, gds_number=63),
+        ]
+    )
+
+
+def _cmos_rules() -> RuleSet:
+    rules = RuleSet()
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (NWELL,), 10, "W.W", "well minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (ACTIVE,), 3, "W.A", "active minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (POLY,), 2, "W.P", "poly minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (METAL,), 3, "W.M", "metal minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (NWELL, NWELL), 9, "S.W.W", "well to well"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (ACTIVE, ACTIVE), 3, "S.A.A", "active to active"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (POLY, POLY), 2, "S.P.P", "poly to poly"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (METAL, METAL), 3, "S.M.M", "metal to metal"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (POLY, ACTIVE), 1, "S.P.A", "poly to unrelated active"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (CONTACT, CONTACT), 2, "S.C.C", "contact to contact"))
+    rules.add(DesignRule(RuleKind.MIN_EXTENSION, (POLY, ACTIVE), 2, "E.P.A", "gate extension past active"))
+    rules.add(DesignRule(RuleKind.MIN_EXTENSION, (ACTIVE, POLY), 3, "E.A.P", "source/drain extension past gate"))
+    rules.add(DesignRule(RuleKind.EXACT_SIZE, (CONTACT,), 2, "C.SIZE", "contact cut is 2x2 lambda"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (METAL, CONTACT), 1, "N.M.C", "metal surround of contact"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (POLY, CONTACT), 1, "N.P.C", "poly surround of contact"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (ACTIVE, CONTACT), 1, "N.A.C", "active surround of contact"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (NWELL, ACTIVE), 5, "N.W.A", "well surround of p-active"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (OVERGLASS,), 100, "W.G", "overglass opening minimum width"))
+    return rules
+
+
+_CMOS_PROPERTIES = {
+    "sheet_resistance_poly": 25.0,
+    "sheet_resistance_metal": 0.05,
+    "gate_capacitance_per_sq_lambda": 0.008,
+    "inverter_pair_delay_ns": 10.0,
+}
+
+
+def cmos_technology(lambda_nm: int = 1500) -> Technology:
+    """Build the scalable single-metal CMOS technology (default lambda 1.5 um)."""
+    return Technology(
+        name="cmos-scalable",
+        lambda_nm=lambda_nm,
+        layers=_cmos_layers(),
+        rules=_cmos_rules(),
+        properties=dict(_CMOS_PROPERTIES),
+    )
+
+
+#: Shared default instance (immutable use only).
+CMOS = cmos_technology()

@@ -1,0 +1,94 @@
+"""Mask layers.
+
+A layer pairs a human name with the short CIF layer name used in the
+manufacturing interface (e.g. ``ND`` for NMOS diffusion, ``NP`` for
+polysilicon) and a purpose classifying how the compiler and the verification
+tools treat geometry on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class LayerPurpose(Enum):
+    """Functional classification of a mask layer."""
+
+    DIFFUSION = "diffusion"
+    POLY = "poly"
+    METAL = "metal"
+    CONTACT = "contact"
+    IMPLANT = "implant"
+    WELL = "well"
+    OVERGLASS = "overglass"
+    BURIED = "buried"
+    LABEL = "label"
+
+    @property
+    def is_conducting(self) -> bool:
+        return self in (LayerPurpose.DIFFUSION, LayerPurpose.POLY, LayerPurpose.METAL)
+
+    @property
+    def is_drawn_mask(self) -> bool:
+        return self is not LayerPurpose.LABEL
+
+
+@dataclass(frozen=True, order=True)
+class Layer:
+    """A mask layer.
+
+    ``name`` is the long name used throughout the compiler; ``cif_name`` is
+    the short commentary-free name emitted into CIF ``L`` commands.
+    """
+
+    name: str
+    cif_name: str
+    purpose: LayerPurpose
+    gds_number: int = 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class LayerSet:
+    """An ordered collection of layers with lookup by either name."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self._layers: List[Layer] = list(layers)
+        self._by_name: Dict[str, Layer] = {}
+        self._by_cif: Dict[str, Layer] = {}
+        for layer in self._layers:
+            if layer.name in self._by_name:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            if layer.cif_name in self._by_cif:
+                raise ValueError(f"duplicate CIF layer name {layer.cif_name!r}")
+            self._by_name[layer.name] = layer
+            self._by_cif[layer.cif_name] = layer
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name or name in self._by_cif
+
+    def by_name(self, name: str) -> Layer:
+        if name in self._by_name:
+            return self._by_name[name]
+        raise KeyError(f"unknown layer {name!r}")
+
+    def by_cif_name(self, cif_name: str) -> Optional[Layer]:
+        return self._by_cif.get(cif_name)
+
+    def get(self, name: str) -> Optional[Layer]:
+        return self._by_name.get(name) or self._by_cif.get(name)
+
+    def conducting_layers(self) -> List[Layer]:
+        return [layer for layer in self._layers if layer.purpose.is_conducting]
+
+    def names(self) -> List[str]:
+        return [layer.name for layer in self._layers]

@@ -1,0 +1,99 @@
+"""The Mead & Conway NMOS technology.
+
+This is the process the 1979 silicon-compilation work targeted: a single
+metal layer, polysilicon gates, n-diffusion, depletion-mode loads selected
+by an implant mask, buried contacts and an overglass cut layer.  The design
+rules are the published lambda rules from *Introduction to VLSI Systems*.
+"""
+
+from __future__ import annotations
+
+from repro.technology.layers import Layer, LayerPurpose, LayerSet
+from repro.technology.rules import DesignRule, RuleKind, RuleSet
+from repro.technology.technology import Technology
+
+# Long layer names used throughout the compiler.
+DIFF = "diffusion"
+POLY = "poly"
+METAL = "metal"
+CONTACT = "contact"
+IMPLANT = "implant"
+BURIED = "buried"
+OVERGLASS = "overglass"
+LABEL = "label"
+
+
+def _nmos_layers() -> LayerSet:
+    return LayerSet(
+        [
+            Layer(DIFF, "ND", LayerPurpose.DIFFUSION, gds_number=1),
+            Layer(POLY, "NP", LayerPurpose.POLY, gds_number=2),
+            Layer(CONTACT, "NC", LayerPurpose.CONTACT, gds_number=3),
+            Layer(METAL, "NM", LayerPurpose.METAL, gds_number=4),
+            Layer(IMPLANT, "NI", LayerPurpose.IMPLANT, gds_number=5),
+            Layer(BURIED, "NB", LayerPurpose.BURIED, gds_number=6),
+            Layer(OVERGLASS, "NG", LayerPurpose.OVERGLASS, gds_number=7),
+            Layer(LABEL, "XL", LayerPurpose.LABEL, gds_number=63),
+        ]
+    )
+
+
+def _nmos_rules() -> RuleSet:
+    rules = RuleSet()
+    # Width rules (lambda).
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (DIFF,), 2, "W.D", "diffusion minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (POLY,), 2, "W.P", "poly minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (METAL,), 3, "W.M", "metal minimum width"))
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (IMPLANT,), 4, "W.I", "implant minimum width"))
+    # Spacing rules.
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (DIFF, DIFF), 3, "S.D.D", "diffusion to diffusion"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (POLY, POLY), 2, "S.P.P", "poly to poly"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (METAL, METAL), 3, "S.M.M", "metal to metal"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (POLY, DIFF), 1, "S.P.D", "poly to unrelated diffusion"))
+    rules.add(DesignRule(RuleKind.MIN_SPACING, (CONTACT, CONTACT), 2, "S.C.C", "contact cut to contact cut"))
+    # Transistor formation / extension rules.
+    rules.add(DesignRule(RuleKind.MIN_EXTENSION, (POLY, DIFF), 2, "E.P.D", "poly gate extension past diffusion"))
+    rules.add(DesignRule(RuleKind.MIN_EXTENSION, (DIFF, POLY), 2, "E.D.P", "diffusion source/drain extension past gate"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (IMPLANT, POLY), 2, "N.I.G", "implant surround of depletion gate"))
+    # Contact rules.
+    rules.add(DesignRule(RuleKind.EXACT_SIZE, (CONTACT,), 2, "C.SIZE", "contact cut is 2x2 lambda"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (METAL, CONTACT), 1, "N.M.C", "metal surround of contact"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (POLY, CONTACT), 1, "N.P.C", "poly surround of contact"))
+    rules.add(DesignRule(RuleKind.MIN_ENCLOSURE, (DIFF, CONTACT), 1, "N.D.C", "diffusion surround of contact"))
+    # Overglass (pad) rules: pads are large; minimum opening 100x100 lambda is
+    # represented as a width rule on the overglass layer.
+    rules.add(DesignRule(RuleKind.MIN_WIDTH, (OVERGLASS,), 100, "W.G", "overglass opening minimum width"))
+    return rules
+
+
+_NMOS_PROPERTIES = {
+    # Electrical parameters from the Mead & Conway text, used for rough
+    # delay/power estimation (not for matching absolute 1979 numbers).
+    "sheet_resistance_diffusion": 10.0,   # ohms per square
+    "sheet_resistance_poly": 50.0,        # ohms per square (could be 15-100)
+    "sheet_resistance_metal": 0.03,       # ohms per square
+    "gate_capacitance_per_sq_lambda": 0.01,  # arbitrary normalised unit
+    "inverter_pair_delay_ns": 30.0,       # nominal 1979-era pair delay
+    "pullup_pulldown_ratio": 4.0,         # k ratio for restoring logic (ground inputs)
+    "pass_gate_ratio": 8.0,               # k ratio when driven through pass transistors
+}
+
+
+def nmos_technology(lambda_nm: int = 2500) -> Technology:
+    """Build the NMOS Mead & Conway technology.
+
+    The default lambda of 2.5 micrometres (2500 nm) matches the era of the
+    paper; any multiple of 10 nm is accepted so the same generators can be
+    scaled (that is the entire point of lambda rules).
+    """
+    return Technology(
+        name="nmos-mead-conway",
+        lambda_nm=lambda_nm,
+        layers=_nmos_layers(),
+        rules=_nmos_rules(),
+        properties=dict(_NMOS_PROPERTIES),
+    )
+
+
+#: Shared default instance (immutable use only).
+NMOS = nmos_technology()

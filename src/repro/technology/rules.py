@@ -1,0 +1,108 @@
+"""Design rules expressed in lambda.
+
+The Mead & Conway methodology abstracts a process into a handful of
+dimensionless rules: minimum widths, minimum spacings (same-layer and
+inter-layer), minimum enclosures (surrounds) and minimum extensions.  The
+DRC engine in :mod:`repro.drc` interprets these rule records against a
+flattened layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class RuleKind(Enum):
+    """The geometric relation a rule constrains."""
+
+    MIN_WIDTH = "min_width"
+    MIN_SPACING = "min_spacing"
+    MIN_ENCLOSURE = "min_enclosure"   # layer A must surround layer B by N
+    MIN_EXTENSION = "min_extension"   # layer A must extend past layer B by N
+    MIN_OVERLAP = "min_overlap"       # layers must overlap by at least N
+    EXACT_SIZE = "exact_size"         # e.g. contact cuts are exactly 2x2 lambda
+
+
+@dataclass(frozen=True)
+class DesignRule:
+    """One design rule.
+
+    ``layers`` carries one layer name for width/size rules and two for
+    spacing/enclosure/extension/overlap rules (ordered: the enclosing or
+    extending layer first).
+    """
+
+    kind: RuleKind
+    layers: Tuple[str, ...]
+    value: int
+    name: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        expected = 1 if self.kind in (RuleKind.MIN_WIDTH, RuleKind.EXACT_SIZE) else 2
+        if len(self.layers) != expected:
+            raise ValueError(
+                f"rule {self.kind.value} expects {expected} layer(s), got {len(self.layers)}"
+            )
+        if self.value < 0:
+            raise ValueError("rule value must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.kind.value}({','.join(self.layers)})={self.value}"
+
+
+class RuleSet:
+    """A queryable collection of design rules."""
+
+    def __init__(self, rules: Iterable[DesignRule] = ()):
+        self._rules: List[DesignRule] = []
+        self._index: Dict[Tuple[RuleKind, Tuple[str, ...]], DesignRule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: DesignRule) -> None:
+        key = (rule.kind, rule.layers)
+        if key in self._index:
+            raise ValueError(f"duplicate rule for {key}")
+        self._index[key] = rule
+        self._rules.append(rule)
+
+    def __iter__(self) -> Iterator[DesignRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def lookup(self, kind: RuleKind, *layers: str) -> Optional[DesignRule]:
+        """Find a rule; symmetric relations are looked up in both orders."""
+        rule = self._index.get((kind, tuple(layers)))
+        if rule is not None:
+            return rule
+        if kind in (RuleKind.MIN_SPACING, RuleKind.MIN_OVERLAP) and len(layers) == 2:
+            return self._index.get((kind, (layers[1], layers[0])))
+        return None
+
+    def value(self, kind: RuleKind, *layers: str, default: Optional[int] = None) -> int:
+        rule = self.lookup(kind, *layers)
+        if rule is None:
+            if default is None:
+                raise KeyError(f"no rule {kind.value} for layers {layers}")
+            return default
+        return rule.value
+
+    def min_width(self, layer: str, default: Optional[int] = None) -> int:
+        return self.value(RuleKind.MIN_WIDTH, layer, default=default)
+
+    def min_spacing(self, layer_a: str, layer_b: Optional[str] = None,
+                    default: Optional[int] = None) -> int:
+        second = layer_b if layer_b is not None else layer_a
+        return self.value(RuleKind.MIN_SPACING, layer_a, second, default=default)
+
+    def rules_of_kind(self, kind: RuleKind) -> List[DesignRule]:
+        return [rule for rule in self._rules if rule.kind is kind]
+
+    def rules_for_layer(self, layer: str) -> List[DesignRule]:
+        return [rule for rule in self._rules if layer in rule.layers]

@@ -1,0 +1,65 @@
+"""The Technology object: layers + rules + lambda scale factor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.technology.layers import Layer, LayerSet
+from repro.technology.rules import RuleSet
+
+
+@dataclass
+class Technology:
+    """A fabrication process as seen by the compiler.
+
+    Attributes
+    ----------
+    name:
+        Short process name, e.g. ``"nmos-mead-conway"``.
+    lambda_nm:
+        The physical size of one lambda in nanometres.  All layout in the
+        compiler is in integer lambda; CIF output scales by this value
+        (CIF distances are in centimicrons, i.e. 10 nm units).
+    layers:
+        The mask layer set.
+    rules:
+        The lambda design-rule set used by the DRC.
+    properties:
+        Free-form per-technology electrical parameters (sheet resistances,
+        gate capacitance per square, inverter pair delay) used by the
+        timing estimator and the metrics reports.
+    """
+
+    name: str
+    lambda_nm: int
+    layers: LayerSet
+    rules: RuleSet
+    properties: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cif_scale(self) -> int:
+        """Centimicrons per lambda for CIF output (1 centimicron = 10 nm)."""
+        if self.lambda_nm % 10 != 0:
+            raise ValueError("lambda must be a multiple of 10 nm for exact CIF output")
+        return self.lambda_nm // 10
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by long name (raises ``KeyError`` if missing)."""
+        return self.layers.by_name(name)
+
+    def has_layer(self, name: str) -> bool:
+        return name in self.layers
+
+    def property(self, key: str, default: Optional[float] = None) -> float:
+        if key in self.properties:
+            return self.properties[key]
+        if default is None:
+            raise KeyError(f"technology {self.name!r} has no property {key!r}")
+        return default
+
+    def __repr__(self) -> str:
+        return (
+            f"Technology({self.name!r}, lambda={self.lambda_nm}nm, "
+            f"{len(self.layers)} layers, {len(self.rules)} rules)"
+        )

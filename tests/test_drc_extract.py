@@ -1,0 +1,165 @@
+"""Tests for design-rule checking and circuit extraction."""
+
+import pytest
+
+from repro.cells import InverterCell, NandCell
+from repro.drc import DrcChecker, check_cell
+from repro.extract import Extractor, extract_cell
+from repro.geometry.point import Point
+from repro.layout.cell import Cell
+from repro.netlist.switch_sim import SwitchLevelSimulator, TransistorKind
+from repro.technology import NMOS
+from repro.technology.rules import RuleKind
+
+
+class TestDrcWidth:
+    def test_narrow_metal_flagged(self):
+        cell = Cell("narrow")
+        cell.add_box("metal", 0, 0, 2, 20)      # metal must be 3 wide
+        violations = check_cell(cell, NMOS)
+        assert any(v.kind is RuleKind.MIN_WIDTH and "metal" in v.layers for v in violations)
+
+    def test_wide_metal_clean(self):
+        cell = Cell("wide")
+        cell.add_box("metal", 0, 0, 3, 20)
+        assert not [v for v in check_cell(cell, NMOS) if v.kind is RuleKind.MIN_WIDTH]
+
+    def test_region_built_from_pieces_not_flagged(self):
+        # Two 2-wide metal strips abutting form a 4-wide region: legal.
+        cell = Cell("pieces")
+        cell.add_box("metal", 0, 0, 2, 20)
+        cell.add_box("metal", 2, 0, 4, 20)
+        assert not [v for v in check_cell(cell, NMOS) if v.kind is RuleKind.MIN_WIDTH]
+
+
+class TestDrcSpacing:
+    def test_close_metal_flagged(self):
+        cell = Cell("close")
+        cell.add_box("metal", 0, 0, 4, 10)
+        cell.add_box("metal", 6, 0, 10, 10)      # gap 2 < 3
+        violations = check_cell(cell, NMOS)
+        assert any(v.kind is RuleKind.MIN_SPACING for v in violations)
+
+    def test_spaced_metal_clean(self):
+        cell = Cell("spaced")
+        cell.add_box("metal", 0, 0, 4, 10)
+        cell.add_box("metal", 7, 0, 11, 10)
+        assert not [v for v in check_cell(cell, NMOS) if v.kind is RuleKind.MIN_SPACING]
+
+    def test_touching_shapes_are_connected_not_spaced(self):
+        cell = Cell("touch")
+        cell.add_box("poly", 0, 0, 4, 4)
+        cell.add_box("poly", 4, 0, 8, 4)
+        assert not [v for v in check_cell(cell, NMOS) if v.kind is RuleKind.MIN_SPACING]
+
+    def test_poly_to_diffusion_spacing(self):
+        cell = Cell("pd")
+        cell.add_box("poly", 0, 0, 2, 10)
+        cell.add_box("diffusion", 2, 0, 6, 10)   # abutting: fine (they touch)
+        cell.add_box("diffusion", 12, 0, 16, 10)
+        clean = check_cell(cell, NMOS)
+        assert not [v for v in clean if v.kind is RuleKind.MIN_SPACING]
+
+
+class TestDrcContactsAndEnclosure:
+    def test_contact_exact_size(self):
+        cell = Cell("cut")
+        cell.add_box("contact", 0, 0, 3, 3)
+        cell.add_box("metal", -2, -2, 5, 5)
+        violations = check_cell(cell, NMOS)
+        assert any(v.kind is RuleKind.EXACT_SIZE for v in violations)
+
+    def test_contact_enclosure_violation(self):
+        cell = Cell("enc")
+        cell.add_box("contact", 0, 0, 2, 2)
+        cell.add_box("metal", 0, 0, 2, 2)        # zero surround
+        violations = check_cell(cell, NMOS)
+        assert any(v.kind is RuleKind.MIN_ENCLOSURE for v in violations)
+
+    def test_contact_properly_enclosed(self):
+        cell = Cell("ok")
+        cell.add_box("contact", 0, 0, 2, 2)
+        cell.add_box("metal", -1, -1, 3, 3)
+        cell.add_box("diffusion", -1, -1, 3, 3)
+        assert check_cell(cell, NMOS) == []
+
+    def test_violation_string_mentions_rule(self):
+        cell = Cell("v")
+        cell.add_box("metal", 0, 0, 2, 20)
+        violation = check_cell(cell, NMOS)[0]
+        assert "min_width" in str(violation)
+
+    def test_library_cells_are_clean(self):
+        assert check_cell(InverterCell(NMOS).cell(), NMOS) == []
+        assert check_cell(NandCell(NMOS, inputs=3).cell(), NMOS) == []
+
+
+class TestExtraction:
+    def test_inverter_devices(self):
+        extracted = extract_cell(InverterCell(NMOS).cell(), NMOS)
+        assert extracted.transistor_count == 2
+        assert extracted.enhancement_count == 1
+        assert extracted.depletion_count == 1
+        assert {"in", "out", "vdd", "gnd"} <= set(extracted.node_names)
+
+    def test_extracted_inverter_simulates_correctly(self):
+        extracted = extract_cell(InverterCell(NMOS).cell(), NMOS)
+        for value in (0, 1):
+            sim = SwitchLevelSimulator(extracted.network)
+            assert sim.evaluate({"in": value})["out"] == 1 - value
+
+    def test_hand_drawn_transistor(self):
+        cell = Cell("fet")
+        cell.add_box("diffusion", 4, 0, 8, 12)
+        cell.add_box("poly", 0, 4, 12, 6)
+        cell.add_port("g", Point(1, 5), "poly", "input")
+        cell.add_port("s", Point(6, 1), "diffusion", "inout")
+        cell.add_port("d", Point(6, 11), "diffusion", "inout")
+        extracted = extract_cell(cell, NMOS)
+        assert extracted.transistor_count == 1
+        device = extracted.network.transistors[0]
+        assert device.kind is TransistorKind.ENHANCEMENT
+        assert device.gate == "g"
+        assert {device.source, device.drain} == {"s", "d"}
+
+    def test_buried_contact_suppresses_channel(self):
+        cell = Cell("buried")
+        cell.add_box("diffusion", 4, 0, 8, 12)
+        cell.add_box("poly", 0, 4, 12, 6)
+        cell.add_box("buried", 0, 3, 12, 7)      # covers the crossing
+        extracted = extract_cell(cell, NMOS)
+        assert extracted.transistor_count == 0
+
+    def test_implant_makes_depletion_device(self):
+        cell = Cell("dep")
+        cell.add_box("diffusion", 4, 0, 8, 12)
+        cell.add_box("poly", 0, 4, 12, 6)
+        cell.add_box("implant", -2, 2, 14, 8)
+        extracted = extract_cell(cell, NMOS)
+        assert extracted.depletion_count == 1
+
+    def test_contact_joins_layers(self):
+        cell = Cell("join")
+        cell.add_box("metal", 0, 0, 10, 4)
+        cell.add_box("diffusion", 0, 0, 4, 10)
+        cell.add_port("m", Point(9, 2), "metal")
+        cell.add_port("d", Point(2, 9), "diffusion")
+        # Without a contact these are separate nodes.
+        separate = extract_cell(cell, NMOS)
+        assert len(separate.node_names) == 2
+        cell.add_box("contact", 1, 1, 3, 3)
+        joined = extract_cell(cell, NMOS)
+        assert len(joined.node_names) == 1
+
+    def test_nand_series_chain_extracted(self):
+        extracted = extract_cell(NandCell(NMOS, inputs=2).cell(), NMOS)
+        assert extracted.transistor_count == 3
+        assert extracted.summary()["depletion"] == 1
+
+    def test_extraction_through_hierarchy(self):
+        inverter = InverterCell(NMOS).cell()
+        parent = Cell("two_inverters")
+        parent.place(inverter, 0, 0)
+        parent.place(inverter, 40, 0)
+        extracted = extract_cell(parent, NMOS)
+        assert extracted.transistor_count == 4

@@ -1,0 +1,97 @@
+"""Tests for points and basic coordinate arithmetic."""
+
+import pytest
+
+from repro.geometry.point import ORIGIN, Point, manhattan_distance
+
+
+class TestPointArithmetic:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 7) - Point(2, 3) == Point(3, 4)
+
+    def test_negation(self):
+        assert -Point(3, -4) == Point(-3, 4)
+
+    def test_scalar_multiplication(self):
+        assert Point(2, 3) * 4 == Point(8, 12)
+        assert 4 * Point(2, 3) == Point(8, 12)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(9, 11)
+        assert (x, y) == (9, 11)
+
+    def test_as_tuple(self):
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    def test_points_are_hashable(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 2)}) == 2
+
+    def test_ordering(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+
+class TestPointTransformations:
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_rotated90_single(self):
+        assert Point(1, 0).rotated90() == Point(0, 1)
+
+    def test_rotated90_full_circle_is_identity(self):
+        p = Point(3, 7)
+        assert p.rotated90(4) == p
+
+    def test_rotated90_negative_turns(self):
+        assert Point(1, 0).rotated90(-1) == Point(0, -1)
+
+    def test_mirror_x(self):
+        assert Point(3, 4).mirrored_x() == Point(-3, 4)
+
+    def test_mirror_y(self):
+        assert Point(3, 4).mirrored_y() == Point(3, -4)
+
+    def test_min_max_with(self):
+        a, b = Point(1, 8), Point(5, 2)
+        assert a.min_with(b) == Point(1, 2)
+        assert a.max_with(b) == Point(5, 8)
+
+
+class TestScalingAndSnapping:
+    def test_scaled_by_integer(self):
+        assert Point(3, 5).scaled(2) == Point(6, 10)
+
+    def test_scaled_rational_rounds_half_away_from_zero(self):
+        assert Point(3, 5).scaled(1, 2) == Point(2, 3)
+        assert Point(-3, -5).scaled(1, 2) == Point(-2, -3)
+
+    def test_scaled_zero_denominator_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Point(1, 1).scaled(1, 0)
+
+    def test_snapped_to_grid(self):
+        assert Point(7, 12).snapped(5) == Point(5, 10)
+        assert Point(8, 13).snapped(5) == Point(10, 15)
+
+    def test_snapped_invalid_grid(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).snapped(0)
+
+    def test_is_on_grid(self):
+        assert Point(10, 20).is_on_grid(5)
+        assert not Point(11, 20).is_on_grid(5)
+
+
+class TestManhattanDistance:
+    def test_distance_basic(self):
+        assert manhattan_distance(Point(0, 0), Point(3, 4)) == 7
+
+    def test_distance_symmetric(self):
+        a, b = Point(-2, 5), Point(7, -1)
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+    def test_distance_zero(self):
+        assert manhattan_distance(ORIGIN, ORIGIN) == 0

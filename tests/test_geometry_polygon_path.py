@@ -1,0 +1,133 @@
+"""Tests for polygons, paths and bounding boxes."""
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox, union_bbox
+from repro.geometry.path import Path, path_to_polygon
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon, decompose_rectilinear, polygon_centroid
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Transform
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_from_rect_roundtrip(self):
+        r = Rect(1, 2, 5, 6)
+        assert Polygon.from_rect(r).to_rect() == r
+
+    def test_to_rect_rejects_non_rectangles(self):
+        triangle = Polygon([Point(0, 0), Point(4, 0), Point(0, 4)])
+        with pytest.raises(ValueError):
+            triangle.to_rect()
+
+    def test_area_square(self):
+        square = Polygon([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert square.area == 16
+
+    def test_signed_area_orientation(self):
+        ccw = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert ccw.is_counterclockwise
+        assert not ccw.reversed().is_counterclockwise
+
+    def test_bbox(self):
+        p = Polygon([Point(1, 1), Point(5, 2), Point(3, 7)])
+        assert p.bbox == Rect(1, 1, 5, 7)
+
+    def test_contains_point(self):
+        square = Polygon([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert square.contains_point(Point(2, 2))
+        assert square.contains_point(Point(0, 2))       # boundary
+        assert not square.contains_point(Point(5, 2))
+
+    def test_is_rectilinear(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 2),
+                           Point(2, 2), Point(2, 4), Point(0, 4)])
+        assert l_shape.is_rectilinear
+        triangle = Polygon([Point(0, 0), Point(4, 0), Point(0, 4)])
+        assert not triangle.is_rectilinear
+
+    def test_decompose_rectilinear_covers_same_area(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 2),
+                           Point(2, 2), Point(2, 4), Point(0, 4)])
+        rects = decompose_rectilinear(l_shape)
+        assert sum(r.area for r in rects) == l_shape.area
+
+    def test_centroid_of_square(self):
+        square = Polygon([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert polygon_centroid(square) == (2.0, 2.0)
+
+    def test_transformed(self):
+        p = Polygon([Point(0, 0), Point(2, 0), Point(0, 2)])
+        moved = p.transformed(Transform.translate(5, 5))
+        assert moved.vertices[0] == Point(5, 5)
+
+
+class TestPath:
+    def test_requires_two_distinct_points(self):
+        with pytest.raises(ValueError):
+            Path([Point(0, 0)], 2)
+        with pytest.raises(ValueError):
+            Path([Point(0, 0), Point(0, 0)], 2)
+
+    def test_positive_width_required(self):
+        with pytest.raises(ValueError):
+            Path([Point(0, 0), Point(5, 0)], 0)
+
+    def test_length(self):
+        p = Path([Point(0, 0), Point(10, 0), Point(10, 5)], 2)
+        assert p.length == 15
+
+    def test_to_rects_horizontal(self):
+        p = Path([Point(0, 0), Point(10, 0)], 2)
+        assert p.to_rects() == [Rect(-1, -1, 11, 1)]
+
+    def test_to_rects_bend_has_two_segments(self):
+        p = Path([Point(0, 0), Point(10, 0), Point(10, 8)], 2)
+        assert len(p.to_rects()) == 2
+
+    def test_non_manhattan_rejected_for_rects(self):
+        p = Path([Point(0, 0), Point(5, 5)], 2)
+        assert not p.is_manhattan
+        with pytest.raises(ValueError):
+            p.to_rects()
+
+    def test_bbox_includes_width(self):
+        p = Path([Point(0, 0), Point(10, 0)], 4)
+        assert p.bbox == Rect(-2, -2, 12, 2)
+
+    def test_path_to_polygon_single_segment(self):
+        polygon = path_to_polygon(Path([Point(0, 0), Point(6, 0)], 2))
+        assert polygon.bbox == Rect(-1, -1, 7, 1)
+
+    def test_deduplicates_repeated_points(self):
+        p = Path([Point(0, 0), Point(0, 0), Point(5, 0)], 2)
+        assert len(p.points) == 2
+
+    def test_extended_to(self):
+        p = Path([Point(0, 0), Point(5, 0)], 2).extended_to(Point(5, 9))
+        assert p.points[-1] == Point(5, 9)
+
+
+class TestBoundingBox:
+    def test_empty(self):
+        box = BoundingBox()
+        assert box.is_empty
+        with pytest.raises(ValueError):
+            box.rect()
+
+    def test_accumulate(self):
+        box = BoundingBox()
+        box.add_rect(Rect(0, 0, 2, 2))
+        box.add_point(Point(10, -3))
+        assert box.rect() == Rect(0, -3, 10, 2)
+
+    def test_union_bbox_helper(self):
+        assert union_bbox([Rect(0, 0, 1, 1), Rect(4, 4, 6, 6)]) == Rect(0, 0, 6, 6)
+        assert union_bbox([]) is None
+
+    def test_rect_or_default(self):
+        assert BoundingBox().rect_or(Rect(0, 0, 1, 1)) == Rect(0, 0, 1, 1)

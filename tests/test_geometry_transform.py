@@ -1,0 +1,90 @@
+"""Tests for orthogonal transforms (the CIF call transform group)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.transform import Orientation, Transform
+
+
+class TestOrientation:
+    def test_r0_is_identity(self):
+        assert Orientation.R0.apply(Point(3, 4)) == Point(3, 4)
+
+    def test_r90_rotates_counterclockwise(self):
+        assert Orientation.R90.apply(Point(1, 0)) == Point(0, 1)
+
+    def test_r180(self):
+        assert Orientation.R180.apply(Point(2, 3)) == Point(-2, -3)
+
+    def test_mx_negates_x(self):
+        assert Orientation.MX.apply(Point(2, 3)) == Point(-2, 3)
+
+    def test_my_negates_y(self):
+        assert Orientation.MY.apply(Point(2, 3)) == Point(2, -3)
+
+    def test_every_orientation_has_inverse(self):
+        p = Point(5, 7)
+        for orientation in Orientation:
+            inverse = orientation.inverse()
+            assert inverse.apply(orientation.apply(p)) == p
+
+    def test_composition_matches_sequential_application(self):
+        p = Point(3, -2)
+        for first in Orientation:
+            for second in Orientation:
+                combined = first.then(second)
+                assert combined.apply(p) == second.apply(first.apply(p))
+
+    def test_rotations_preserve_handedness(self):
+        for orientation in (Orientation.R0, Orientation.R90, Orientation.R180, Orientation.R270):
+            assert orientation.determinant == 1
+
+    def test_mirrors_flip_handedness(self):
+        for orientation in (Orientation.MX, Orientation.MY, Orientation.MXR90, Orientation.MYR90):
+            assert orientation.determinant == -1
+
+    def test_swaps_axes(self):
+        assert Orientation.R90.swaps_axes
+        assert not Orientation.MX.swaps_axes
+
+
+class TestTransform:
+    def test_identity(self):
+        assert Transform.identity().apply(Point(9, 9)) == Point(9, 9)
+        assert Transform.identity().is_identity
+
+    def test_translate(self):
+        assert Transform.translate(3, -2).apply(Point(1, 1)) == Point(4, -1)
+
+    def test_rotate90_about_origin(self):
+        assert Transform.rotate90().apply(Point(2, 0)) == Point(0, 2)
+
+    def test_mirror_then_translate(self):
+        t = Transform(Orientation.MX, Point(10, 0))
+        assert t.apply(Point(2, 3)) == Point(8, 3)
+
+    def test_then_composes_left_to_right(self):
+        first = Transform.translate(1, 0)
+        second = Transform.rotate90()
+        combined = first.then(second)
+        p = Point(2, 0)
+        assert combined.apply(p) == second.apply(first.apply(p))
+
+    def test_inverse_roundtrip(self):
+        t = Transform(Orientation.MYR90, Point(13, -7))
+        inverse = t.inverse()
+        for p in (Point(0, 0), Point(5, 3), Point(-2, 9)):
+            assert inverse.apply(t.apply(p)) == p
+
+    def test_apply_all(self):
+        t = Transform.translate(1, 1)
+        assert t.apply_all([Point(0, 0), Point(1, 1)]) == [Point(1, 1), Point(2, 2)]
+
+    def test_translated_shifts_translation(self):
+        t = Transform.translate(1, 1).translated(2, 3)
+        assert t.apply(Point(0, 0)) == Point(3, 4)
+
+    def test_composition_with_mirror_and_translation(self):
+        # Place a cell mirrored in x then shifted; check a known corner.
+        t = Transform(Orientation.MX, Point(20, 5))
+        assert t.apply(Point(3, 2)) == Point(17, 7)

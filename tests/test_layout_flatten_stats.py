@@ -1,0 +1,106 @@
+"""Tests for flattening and layout statistics (regularity, density)."""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell, flattened_shapes_by_layer
+from repro.layout.stats import cell_statistics, hierarchy_depth, regularity_index
+from repro.lang.composition import array_cell
+
+
+def make_unit():
+    cell = Cell("unit")
+    cell.add_box("metal", 0, 0, 4, 4)
+    cell.add_box("poly", 1, 1, 3, 3)
+    return cell
+
+
+class TestFlatten:
+    def test_flatten_leaf(self):
+        flat = flatten_cell(make_unit())
+        assert len(flat.shapes) == 2
+        assert flat.unexpanded_instances == 0
+
+    def test_flatten_hierarchy_translates_geometry(self):
+        unit = make_unit()
+        parent = Cell("p")
+        parent.place(unit, 10, 20)
+        flat = flatten_cell(parent)
+        metal = [s for s in flat.shapes if s.layer == "metal"][0]
+        assert metal.bbox == Rect(10, 20, 14, 24)
+
+    def test_flatten_depth_limit(self):
+        unit = make_unit()
+        mid = Cell("mid")
+        mid.place(unit, 0, 0)
+        top = Cell("top")
+        top.place(mid, 0, 0)
+        flat = flatten_cell(top, max_depth=1)
+        # Only mid's own geometry (none) is expanded; unit remains unexpanded.
+        assert len(flat.shapes) == 0
+        assert flat.unexpanded_instances == 1
+
+    def test_rects_by_layer(self):
+        unit = make_unit()
+        parent = Cell("p")
+        parent.place(unit, 0, 0)
+        parent.place(unit, 10, 0)
+        rects = flattened_shapes_by_layer(parent)
+        assert len(rects["metal"]) == 2
+        assert len(rects["poly"]) == 2
+
+    def test_labels_flattened(self):
+        unit = make_unit()
+        unit.add_label("x", Point(2, 2), "metal")
+        parent = Cell("p")
+        parent.place(unit, 100, 0)
+        flat = flatten_cell(parent)
+        assert flat.labels[0].position == Point(102, 2)
+
+    def test_flat_layers_and_bbox(self):
+        flat = flatten_cell(make_unit())
+        assert set(flat.layers()) == {"metal", "poly"}
+        assert flat.bbox() == Rect(0, 0, 4, 4)
+
+
+class TestStatistics:
+    def test_leaf_statistics(self):
+        stats = cell_statistics(make_unit())
+        assert stats.flattened_shape_count == 2
+        assert stats.distinct_shape_count == 2
+        assert stats.regularity == 1.0
+        assert stats.hierarchy_depth == 1
+        assert stats.mask_area_by_layer["metal"] == 16
+
+    def test_array_regularity_scales_with_copies(self):
+        unit = make_unit()
+        arr = array_cell("arr", unit, columns=4, rows=4)
+        stats = cell_statistics(arr)
+        assert stats.flattened_shape_count == 32
+        assert stats.regularity == 16.0
+        assert regularity_index(arr) == 16.0
+
+    def test_hierarchy_depth(self):
+        unit = make_unit()
+        mid = Cell("mid")
+        mid.place(unit, 0, 0)
+        top = Cell("top")
+        top.place(mid, 0, 0)
+        assert hierarchy_depth(top) == 3
+
+    def test_density_between_zero_and_one(self):
+        stats = cell_statistics(make_unit())
+        assert 0.0 < stats.density() <= 1.0
+
+    def test_mask_area_overlapping_layers_counted_per_layer(self):
+        cell = Cell("c")
+        cell.add_box("metal", 0, 0, 4, 4)
+        cell.add_box("metal", 2, 0, 6, 4)   # overlaps the first
+        stats = cell_statistics(cell)
+        assert stats.mask_area_by_layer["metal"] == 24
+
+    def test_empty_cell(self):
+        stats = cell_statistics(Cell("empty"))
+        assert stats.bbox_area == 0
+        assert stats.density() == 0.0
+        assert stats.regularity == 1.0

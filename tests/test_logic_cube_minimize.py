@@ -1,0 +1,159 @@
+"""Tests for cubes, covers and the two-level minimisers."""
+
+import random
+
+import pytest
+
+from repro.logic.cube import Cover, Cube
+from repro.logic.expr import parse_expr
+from repro.logic.minimize import minimize, minimize_exact, minimize_heuristic
+from repro.logic.truth_table import TruthTable
+
+
+class TestCube:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cube("01x", "1")          # bad input character
+        with pytest.raises(ValueError):
+            Cube("01-", "0")          # drives no output
+
+    def test_covers_minterm(self):
+        cube = Cube("1-0", "1")
+        assert cube.covers_minterm(0b100)
+        assert cube.covers_minterm(0b110)
+        assert not cube.covers_minterm(0b101)
+
+    def test_minterms_enumeration(self):
+        assert sorted(Cube("1-0", "1").minterms()) == [0b100, 0b110]
+        assert len(list(Cube("---", "1").minterms())) == 8
+
+    def test_literal_count(self):
+        assert Cube("1-0", "1").literal_count == 2
+
+    def test_merge_distance_and_merged(self):
+        a, b = Cube("101", "1"), Cube("111", "1")
+        assert a.merge_distance(b) == 1
+        assert a.merged(b) == Cube("1-1", "1")
+        assert a.merged(Cube("110", "1")) is None          # distance 2
+        assert a.merged(Cube("111", "0") if False else Cube("1-1", "1")) is None
+
+    def test_input_contains(self):
+        assert Cube("1--", "1").input_contains(Cube("101", "1"))
+        assert not Cube("101", "1").input_contains(Cube("1--", "1"))
+
+    def test_intersects(self):
+        assert Cube("1-", "1").intersects(Cube("-0", "1"))
+        assert not Cube("1-", "1").intersects(Cube("0-", "1"))
+
+
+class TestCover:
+    def test_add_and_evaluate(self):
+        cover = Cover(["a", "b"], ["f"])
+        cover.add_term("11", "1")
+        cover.add_term("00", "1")
+        assert cover.evaluate({"a": 1, "b": 1}) == {"f": 1}
+        assert cover.evaluate({"a": 1, "b": 0}) == {"f": 0}
+
+    def test_wrong_width_rejected(self):
+        cover = Cover(["a", "b"], ["f"])
+        with pytest.raises(ValueError):
+            cover.add_term("1", "1")
+        with pytest.raises(ValueError):
+            cover.add_term("11", "11")
+
+    def test_on_set(self):
+        cover = Cover(["a", "b"], ["f", "g"])
+        cover.add_term("1-", "10")
+        cover.add_term("01", "01")
+        assert cover.on_set("f") == [2, 3]
+        assert cover.on_set("g") == [1]
+
+    def test_equivalence(self):
+        a = Cover(["x", "y"], ["f"], [Cube("1-", "1"), Cube("-1", "1")])
+        b = Cover(["x", "y"], ["f"], [Cube("11", "1"), Cube("10", "1"), Cube("01", "1")])
+        assert a.is_equivalent_to(b)
+        c = Cover(["x", "y"], ["f"], [Cube("11", "1")])
+        assert not a.is_equivalent_to(c)
+
+    def test_pla_text_roundtrip(self):
+        cover = Cover(["a", "b", "c"], ["f", "g"])
+        cover.add_term("1-0", "10")
+        cover.add_term("011", "11")
+        reparsed = Cover.from_pla_text(cover.to_pla_text())
+        assert reparsed.is_equivalent_to(cover)
+
+    def test_pla_text_requires_header(self):
+        with pytest.raises(ValueError):
+            Cover.from_pla_text("10 1\n.e\n")
+
+
+class TestMinimization:
+    def test_classic_example_reduces(self):
+        # f = sum of minterms (0,1,2,5,6,7) over a,b,c: minimal SOP has 3 terms.
+        table = TruthTable(["a", "b", "c"], ["f"])
+        for m in (0, 1, 2, 5, 6, 7):
+            table.set_output(m, "f", 1)
+        result = minimize_exact(table)
+        assert result.num_terms == 3
+        assert result.is_equivalent_to(table.to_cover())
+
+    def test_dont_cares_exploited(self):
+        # With don't cares the cover can collapse to a single literal.
+        table = TruthTable(["a", "b"], ["f"])
+        table.set_output(3, "f", 1)
+        table.set_output(2, "f", None)
+        result = minimize_exact(table)
+        assert result.num_terms == 1
+        assert result.cubes[0].inputs in ("1-", "11")
+
+    def test_xor_cannot_reduce(self):
+        table = TruthTable.from_expressions({"f": parse_expr("a ^ b")})
+        assert minimize_exact(table).num_terms == 2
+
+    def test_multi_output_sharing(self):
+        # Both outputs share the product term a&b.
+        table = TruthTable.from_expressions(
+            {"f": parse_expr("a & b"), "g": parse_expr("a & b | c")},
+            input_names=["a", "b", "c"],
+        )
+        result = minimize_exact(table)
+        shared = [cube for cube in result if cube.outputs == "11"]
+        assert shared, "expected a product term shared between outputs"
+
+    def test_heuristic_preserves_function(self):
+        random.seed(7)
+        table = TruthTable(["a", "b", "c", "d"], ["f"])
+        for row in range(16):
+            table.set_output(row, "f", random.randint(0, 1))
+        canonical = table.to_cover()
+        reduced = minimize_heuristic(table)
+        assert reduced.is_equivalent_to(canonical)
+        assert reduced.num_terms <= canonical.num_terms
+
+    def test_exact_never_worse_than_per_output_canonical(self):
+        # Multi-output minimisation happens per output and then shares
+        # identical product terms, so the fair upper bound is the sum of the
+        # per-output on-set sizes (the cover with no minimisation and no
+        # sharing), not the minterm-shared canonical cover.
+        random.seed(3)
+        for _ in range(5):
+            table = TruthTable(["a", "b", "c"], ["f", "g"])
+            for row in range(8):
+                table.set_row(row, [random.randint(0, 1), random.randint(0, 1)])
+            canonical = table.to_cover()
+            result = minimize_exact(table)
+            assert result.is_equivalent_to(canonical)
+            per_output_bound = len(table.on_set("f")) + len(table.on_set("g"))
+            assert result.num_terms <= max(1, per_output_bound)
+
+    def test_minimize_dispatch(self):
+        table = TruthTable.from_expressions({"f": parse_expr("a | b")})
+        assert minimize(table, "exact").num_terms == 2
+        assert minimize(table, "heuristic").is_equivalent_to(table.to_cover())
+        assert minimize(table, "none").num_terms == 3
+        with pytest.raises(ValueError):
+            minimize(table, "magic")
+
+    def test_empty_function(self):
+        table = TruthTable(["a", "b"], ["f"])
+        assert minimize_exact(table).num_terms == 0

@@ -1,0 +1,131 @@
+"""Tests for boolean expressions and the expression parser."""
+
+import pytest
+
+from repro.logic.expr import (
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    Xor,
+    expr_to_truth_rows,
+    parse_expr,
+)
+
+
+class TestExpressionEvaluation:
+    def test_var_and_const(self):
+        assert Var("a").evaluate({"a": 1}) == 1
+        assert Const(0).evaluate({}) == 0
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("a").evaluate({"b": 1})
+
+    def test_invalid_const(self):
+        with pytest.raises(ValueError):
+            Const(2)
+
+    def test_operator_overloads(self):
+        e = (Var("a") & Var("b")) | ~Var("c")
+        assert e.evaluate({"a": 1, "b": 1, "c": 1}) == 1
+        assert e.evaluate({"a": 0, "b": 1, "c": 1}) == 0
+        assert e.evaluate({"a": 0, "b": 0, "c": 0}) == 1
+
+    def test_xor(self):
+        e = Var("a") ^ Var("b")
+        assert e.evaluate({"a": 1, "b": 0}) == 1
+        assert e.evaluate({"a": 1, "b": 1}) == 0
+
+    def test_coercion_of_python_ints(self):
+        e = Var("a") & 1
+        assert e.evaluate({"a": 1}) == 1
+        e2 = 0 | Var("a")
+        assert e2.evaluate({"a": 1}) == 1
+
+    def test_variables_collected(self):
+        e = (Var("a") & Var("b")) ^ ~Var("c")
+        assert e.variables() == {"a", "b", "c"}
+
+    def test_nary_constructors_require_two_operands(self):
+        with pytest.raises(ValueError):
+            And([Var("a")])
+        with pytest.raises(ValueError):
+            Or([Var("a")])
+        with pytest.raises(ValueError):
+            Xor([Var("a")])
+
+
+class TestParser:
+    def test_simple_or_of_ands(self):
+        e = parse_expr("a & ~b | c")
+        assert e.evaluate({"a": 1, "b": 0, "c": 0}) == 1
+        assert e.evaluate({"a": 1, "b": 1, "c": 0}) == 0
+        assert e.evaluate({"a": 0, "b": 1, "c": 1}) == 1
+
+    def test_juxtaposition_is_and(self):
+        e = parse_expr("a b | ~a ~b")   # XNOR written as sum of products
+        assert e.evaluate({"a": 1, "b": 1}) == 1
+        assert e.evaluate({"a": 0, "b": 0}) == 1
+        assert e.evaluate({"a": 1, "b": 0}) == 0
+
+    def test_plus_and_star_aliases(self):
+        e = parse_expr("a*b + c")
+        assert e.evaluate({"a": 1, "b": 1, "c": 0}) == 1
+
+    def test_parentheses(self):
+        e = parse_expr("a & (b | c)")
+        assert e.evaluate({"a": 1, "b": 0, "c": 1}) == 1
+        assert e.evaluate({"a": 1, "b": 0, "c": 0}) == 0
+
+    def test_xor_precedence_between_or_and_and(self):
+        e = parse_expr("a ^ b & c")
+        # & binds tighter than ^
+        assert e.evaluate({"a": 1, "b": 1, "c": 0}) == 1
+
+    def test_constants(self):
+        assert parse_expr("1 | a").evaluate({"a": 0}) == 1
+        assert parse_expr("0 & a").evaluate({"a": 1}) == 0
+
+    def test_bang_negation(self):
+        assert parse_expr("!a").evaluate({"a": 0}) == 1
+
+    def test_indexed_names(self):
+        e = parse_expr("d[3] & d[0]")
+        assert e.variables() == {"d[3]", "d[0]"}
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_expr("a & b )")
+
+    def test_bad_character_raises(self):
+        with pytest.raises(ValueError):
+            parse_expr("a @ b")
+
+    def test_str_roundtrip_evaluates_identically(self):
+        original = parse_expr("a & ~b | c ^ d")
+        reparsed = parse_expr(str(original))
+        for minterm in range(16):
+            assignment = {name: (minterm >> i) & 1
+                          for i, name in enumerate(["a", "b", "c", "d"])}
+            assert original.evaluate(assignment) == reparsed.evaluate(assignment)
+
+
+class TestTruthRows:
+    def test_rows_for_and(self):
+        rows = expr_to_truth_rows(parse_expr("a & b"), ["a", "b"])
+        assert rows == [0, 0, 0, 1]
+
+    def test_rows_for_or_with_three_vars(self):
+        rows = expr_to_truth_rows(parse_expr("a | b | c"), ["a", "b", "c"])
+        assert rows[0] == 0 and all(rows[1:])
+
+    def test_unlisted_variable_raises(self):
+        with pytest.raises(ValueError):
+            expr_to_truth_rows(parse_expr("a & b"), ["a"])
+
+    def test_variable_order_is_msb_first(self):
+        rows = expr_to_truth_rows(parse_expr("a"), ["a", "b"])
+        assert rows == [0, 0, 1, 1]

@@ -1,0 +1,247 @@
+"""Tests for structural netlists, the simulators and netlist comparison."""
+
+import pytest
+
+from repro.netlist import (
+    GateLevelSimulator,
+    GateType,
+    Module,
+    SwitchLevelSimulator,
+    SwitchNetwork,
+    TransistorKind,
+    compare_netlists,
+)
+from repro.netlist.compare import compare_switch_networks
+
+
+def full_adder():
+    m = Module("fa")
+    m.add_inputs("a", "b", "cin")
+    m.add_outputs("s", "cout")
+    m.add_gate(GateType.XOR, "ab", ["a", "b"])
+    m.add_gate(GateType.XOR, "s", ["ab", "cin"])
+    m.add_gate(GateType.AND, "g1", ["a", "b"])
+    m.add_gate(GateType.AND, "g2", ["ab", "cin"])
+    m.add_gate(GateType.OR, "cout", ["g1", "g2"])
+    return m
+
+
+class TestModule:
+    def test_ports_and_nets(self):
+        m = full_adder()
+        assert set(m.input_names()) == {"a", "b", "cin"}
+        assert set(m.output_names()) == {"s", "cout"}
+        assert "ab" in m.internal_names()
+
+    def test_gate_count_and_census(self):
+        m = full_adder()
+        assert m.gate_count() == 5
+        assert m.count_by_type() == {"xor": 2, "and": 2, "or": 1}
+
+    def test_arity_validation(self):
+        m = Module("m")
+        with pytest.raises(ValueError):
+            m.add_gate(GateType.NOT, "y", ["a", "b"])
+        with pytest.raises(ValueError):
+            m.add_gate(GateType.AND, "y", ["a"])
+
+    def test_duplicate_instance_name_rejected(self):
+        m = Module("m")
+        m.add_gate(GateType.NOT, "y", ["a"], name="inv")
+        with pytest.raises(ValueError):
+            m.add_gate(GateType.NOT, "z", ["a"], name="inv")
+
+    def test_validate_detects_multiple_drivers(self):
+        m = Module("m")
+        m.add_gate(GateType.NOT, "y", ["a"])
+        m.add_gate(GateType.BUF, "y", ["b"])
+        assert any("multiple drivers" in p for p in m.validate())
+
+    def test_validate_detects_undriven_output(self):
+        m = Module("m")
+        m.add_output("y")
+        assert any("never driven" in p for p in m.validate())
+
+    def test_submodule_instantiation_and_flattening(self):
+        adder = full_adder()
+        top = Module("top")
+        top.add_inputs("x", "y", "c")
+        top.add_outputs("sum", "carry")
+        top.add_submodule(adder, {"a": "x", "b": "y", "cin": "c",
+                                  "s": "sum", "cout": "carry"})
+        flat = top.flattened()
+        assert flat.gate_count() == 5
+        sim = GateLevelSimulator(top)
+        out = sim.evaluate({"x": 1, "y": 1, "c": 1})
+        assert out["sum"] == 1 and out["carry"] == 1
+
+    def test_submodule_missing_connection_rejected(self):
+        adder = full_adder()
+        top = Module("top")
+        with pytest.raises(ValueError):
+            top.add_submodule(adder, {"a": "x"})
+
+    def test_transistor_estimate_positive_and_monotone(self):
+        small = Module("s")
+        small.add_gate(GateType.NOT, "y", ["a"])
+        assert small.transistor_estimate() == 2
+        assert full_adder().transistor_estimate() > small.transistor_estimate()
+
+
+class TestGateLevelSimulator:
+    def test_full_adder_truth_table(self):
+        sim = GateLevelSimulator(full_adder())
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    out = sim.evaluate({"a": a, "b": b, "cin": c})
+                    assert out["s"] == a ^ b ^ c
+                    assert out["cout"] == int(a + b + c >= 2)
+
+    def test_unknown_propagation_with_controlling_values(self):
+        m = Module("m")
+        m.add_inputs("a")
+        m.add_outputs("y")
+        m.add_gate(GateType.AND, "y", ["a", "u"])   # u never driven -> X
+        sim = GateLevelSimulator(m)
+        assert sim.evaluate({"a": 0})["y"] == 0      # 0 dominates AND
+        assert sim.evaluate({"a": 1})["y"] is None
+
+    def test_counter_with_dffs(self):
+        m = Module("cnt")
+        m.add_inputs("en")
+        m.add_outputs("q0", "q1")
+        m.add_gate(GateType.XOR, "d0", ["q0", "en"])
+        m.add_gate(GateType.DFF, "q0", ["d0"])
+        m.add_gate(GateType.AND, "c0", ["q0", "en"])
+        m.add_gate(GateType.XOR, "d1", ["q1", "c0"])
+        m.add_gate(GateType.DFF, "q1", ["d1"])
+        sim = GateLevelSimulator(m)
+        sim.reset()
+        trace = sim.run([{"en": 1}] * 4)
+        values = [(c["q1"], c["q0"]) for c in trace.cycles]
+        assert values == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_latch_transparent_when_enabled(self):
+        m = Module("l")
+        m.add_inputs("d", "en")
+        m.add_outputs("q")
+        m.add_gate(GateType.LATCH, "q", ["d"], enable="en")
+        sim = GateLevelSimulator(m)
+        assert sim.evaluate({"d": 1, "en": 1})["q"] == 1
+        assert sim.evaluate({"d": 0, "en": 0})["q"] == 1   # holds
+
+    def test_mux2(self):
+        m = Module("m")
+        m.add_inputs("s", "a", "b")
+        m.add_outputs("y")
+        m.add_gate(GateType.MUX2, "y", [], sel="s", a="a", b="b")
+        sim = GateLevelSimulator(m)
+        assert sim.evaluate({"s": 0, "a": 1, "b": 0})["y"] == 1
+        assert sim.evaluate({"s": 1, "a": 1, "b": 0})["y"] == 0
+
+    def test_unknown_input_name_raises(self):
+        sim = GateLevelSimulator(full_adder())
+        with pytest.raises(KeyError):
+            sim.set_inputs({"zz": 1})
+
+    def test_critical_path_estimate(self):
+        assert GateLevelSimulator(full_adder()).critical_path_estimate() == 3
+
+    def test_trace_series(self):
+        sim = GateLevelSimulator(full_adder())
+        trace = sim.run([{"a": 1, "b": 0, "cin": 0}, {"a": 1, "b": 1, "cin": 0}])
+        assert trace.series("s") == [1, 0]
+        assert len(trace) == 2
+
+
+class TestSwitchLevelSimulator:
+    def nmos_inverter(self):
+        n = SwitchNetwork("inv")
+        n.add_input("a")
+        n.add_output("out")
+        n.add_transistor("a", "gnd", "out")
+        n.add_transistor("out", "out", "vdd", TransistorKind.DEPLETION)
+        return n
+
+    def test_inverter(self):
+        n = self.nmos_inverter()
+        assert SwitchLevelSimulator(n).evaluate({"a": 0})["out"] == 1
+        assert SwitchLevelSimulator(n).evaluate({"a": 1})["out"] == 0
+
+    def test_nand_series_pulldown(self):
+        n = SwitchNetwork("nand")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_output("out")
+        n.add_transistor("a", "mid", "out")
+        n.add_transistor("b", "gnd", "mid")
+        n.add_transistor("out", "out", "vdd", TransistorKind.DEPLETION)
+        for a in (0, 1):
+            for b in (0, 1):
+                sim = SwitchLevelSimulator(n)
+                assert sim.evaluate({"a": a, "b": b})["out"] == (0 if a and b else 1)
+
+    def test_pass_transistor_charge_storage(self):
+        n = SwitchNetwork("dyn")
+        n.add_input("d")
+        n.add_input("clk")
+        n.add_output("node")
+        n.add_transistor("clk", "d", "node")
+        sim = SwitchLevelSimulator(n)
+        assert sim.evaluate({"d": 1, "clk": 1})["node"] == 1
+        # Clock off, data changes: the node keeps its stored charge.
+        assert sim.evaluate({"d": 0, "clk": 0})["node"] == 1
+
+    def test_device_counts(self):
+        n = self.nmos_inverter()
+        assert n.device_count() == 2
+        assert n.pullup_count() == 1
+
+
+class TestComparison:
+    def test_identical_netlists_match(self):
+        assert compare_netlists(full_adder(), full_adder()).matches
+
+    def test_extra_gate_detected(self):
+        other = full_adder()
+        other.add_gate(GateType.NOT, "junk", ["a"])
+        result = compare_netlists(full_adder(), other)
+        assert not result.matches
+        assert any("census" in m for m in result.mismatches)
+
+    def test_port_mismatch_detected(self):
+        other = Module("fa")
+        other.add_inputs("a", "b")
+        other.add_outputs("s")
+        other.add_gate(GateType.XOR, "s", ["a", "b"])
+        result = compare_netlists(full_adder(), other)
+        assert not result.matches
+
+    def test_swapped_connection_detected(self):
+        golden = Module("g")
+        golden.add_inputs("a", "b", "c")
+        golden.add_outputs("y")
+        golden.add_gate(GateType.AND, "t", ["a", "b"])
+        golden.add_gate(GateType.OR, "y", ["t", "c"])
+        candidate = Module("g")
+        candidate.add_inputs("a", "b", "c")
+        candidate.add_outputs("y")
+        candidate.add_gate(GateType.AND, "t", ["a", "c"])   # swapped b <-> c
+        candidate.add_gate(GateType.OR, "y", ["t", "b"])
+        assert not compare_netlists(golden, candidate).matches
+
+    def test_explain_text(self):
+        result = compare_netlists(full_adder(), full_adder())
+        assert "match" in result.explain()
+
+    def test_switch_network_comparison(self):
+        def inverter():
+            n = SwitchNetwork("inv")
+            n.add_transistor("a", "gnd", "out")
+            n.add_transistor("out", "out", "vdd", TransistorKind.DEPLETION)
+            return n
+        assert compare_switch_networks(inverter(), inverter()).matches
+        extra = inverter()
+        extra.add_transistor("b", "gnd", "out")
+        assert not compare_switch_networks(inverter(), extra).matches
