@@ -10,7 +10,7 @@ import io
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.cells import InverterCell, RegisterBitCell
 from repro.cif import CifWriter, parse_cif, write_cif
 from repro.generators import DecoderGenerator, PlaGenerator, RamGenerator, RomGenerator
@@ -73,4 +73,12 @@ def test_e10_cif_roundtrip_fidelity(benchmark, technology):
     # Hierarchy pays: for the regular blocks the flat file is much larger.
     economy = {name: flat / hier for name, _ok, hier, flat, _shapes in results}
     assert economy["register_file_16"] > 3.0
+
     assert economy["ram_16x8"] > 3.0
+
+    record_bench(
+        "e10", benchmark,
+        blocks=len(results),
+        total_flattened_shapes=sum(shapes for *_x, shapes in results),
+        best_economy=round(max(economy.values()), 2),
+    )

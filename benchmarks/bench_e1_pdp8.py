@@ -12,7 +12,7 @@ small multiple, not an order of magnitude, in device count.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.generators import DatapathColumn, DatapathGenerator, PlaGenerator
 from repro.logic import TruthTable
 from repro.metrics import format_table
@@ -89,3 +89,11 @@ def test_e1_pdp8_automatic_vs_hand(benchmark, technology):
     assert compiled.transistor_estimate > hand_transistors
     assert transistor_ratio < 10.0
     assert auto_report.area > hand_area
+
+    record_bench(
+        "e1", benchmark,
+        auto_transistors=compiled.transistor_estimate,
+        hand_transistors=hand_transistors,
+        transistor_ratio=round(transistor_ratio, 3),
+        area_ratio=round(area_ratio, 3),
+    )

@@ -9,7 +9,7 @@ technology's inverter-pair delay).
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.cells import InverterCell, NandCell
 from repro.generators import FsmLayoutGenerator, PlaGenerator
 from repro.logic import FSM, TruthTable, parse_expr
@@ -133,3 +133,9 @@ def test_e2_cost_of_behavioural_compilation(benchmark, technology):
         rows,
         "E2: space and speed cost of behavioural compilation",
     ))
+
+    record_bench(
+        "e2", benchmark,
+        designs=len(rows),
+        total_gates=sum(compiled.gate_count for compiled, _, _ in results.values()),
+    )

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.generators import PlaGenerator, RamGenerator, RomGenerator
 from repro.logic import TruthTable
 from repro.metrics import format_table
@@ -91,3 +91,10 @@ def test_e3_ram_parameter_sweep(benchmark, technology):
     # Transistor count is dominated by 6T cells.
     for words, bits, total_bits, _area, transistors in rows:
         assert transistors >= 6 * total_bits
+
+    record_bench(
+        "e3", benchmark,
+        ram_sweeps=len(rows),
+        largest_ram_bits=rows[-1][2],
+        largest_ram_transistors=rows[-1][4],
+    )

@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.generators import PlaGenerator
 from repro.logic import TruthTable, minimize, parse_expr
 from repro.metrics import format_table
@@ -80,3 +80,10 @@ def test_e4_minimisation_ablation(benchmark, technology):
         if methods["exact"][1] < methods["none"][1]:
             strict_win = True
     assert strict_win
+
+    record_bench(
+        "e4", benchmark,
+        personalities=len(by_name),
+        exact_terms=sum(methods["exact"][0] for methods in by_name.values()),
+        canonical_terms=sum(methods["none"][0] for methods in by_name.values()),
+    )

@@ -9,7 +9,7 @@ floorplanning, pad-to-core routing all follow the parameters).
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.assembly import ChipAssembler
 from repro.generators import DatapathColumn, DatapathGenerator, PlaGenerator
 from repro.logic import TruthTable, parse_expr
@@ -69,3 +69,11 @@ def test_e5_parameterised_chip_assembly(benchmark, technology):
     assert len(description_sizes) == 1
     assert chip_areas == sorted(chip_areas)
     assert chip_areas[-1] > 1.3 * chip_areas[0]
+
+    record_bench(
+        "e5", benchmark,
+        chips=len(rows),
+        description_size=rows[0][2],
+        largest_chip_area=chip_areas[-1],
+        total_pads=sum(row[3] for row in rows),
+    )

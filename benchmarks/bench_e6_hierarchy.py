@@ -12,7 +12,7 @@ import io
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.cells import RegisterBitCell
 from repro.cif import CifWriter
 from repro.generators import DecoderGenerator, RamGenerator
@@ -78,3 +78,11 @@ def test_e6_hierarchy_leverage(benchmark, technology):
     # Every regular structure beats 4x regularity; the RAM beats 20x.
     assert all(float(row[3]) >= 4.0 for row in rows[1:])
     assert float(rows[-1][3]) > 20.0
+
+    record_bench(
+        "e6", benchmark,
+        designs=len(rows),
+        flattened_shapes=sum(row[2] for row in rows),
+        best_regularity=max(float(row[3]) for row in rows),
+        best_cif_leverage=max(float(row[6][:-1]) for row in rows),
+    )

@@ -6,9 +6,11 @@ re-parsed, and verified: geometry survives the interface exactly, the DRC
 runs, and extraction sees the expected device population.
 """
 
+import time
+
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.assembly import ChipAssembler
 from repro.cif import parse_cif, write_cif
 from repro.drc import DrcChecker
@@ -56,9 +58,12 @@ def test_e7_text_to_cif_flow(benchmark, technology):
                  flatten_cell(parsed.cell("e7_chip")).rects_by_layer().items()}
     assert original == recovered
 
-    # Verification tools run over the result.
+    # Verification tools run over the result (timed: the spatial-index paths
+    # are the analysis hot loop this flow exercises).
+    analysis_start = time.perf_counter()
     violations = DrcChecker(technology).check(chip)
     extracted = extract_cell(chip, technology)
+    analysis_seconds = time.perf_counter() - analysis_start
     metrics = measure_cell(chip, technology)
     stats = cell_statistics(chip)
 
@@ -75,3 +80,12 @@ def test_e7_text_to_cif_flow(benchmark, technology):
     assert extracted.transistor_count > 50
     assert report.routed_connections == 5
     assert cif_text.rstrip().endswith("E")
+
+    record_bench(
+        "e7", benchmark,
+        flattened_shapes=len(flatten_cell(chip).shapes),
+        transistors=extracted.transistor_count,
+        drc_violations=len(violations),
+        cif_bytes=len(cif_text),
+        analysis_seconds=round(analysis_seconds, 4),
+    )

@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.assembly import ChannelNet, ChannelRouter
 from repro.generators import DatapathColumn, DatapathGenerator
 from repro.layout.cell import Cell
@@ -94,3 +94,10 @@ def test_e8_abutment_vs_channel_routing(benchmark, technology):
     first_ratio = rows[0][3] / max(1, rows[0][1])
     last_ratio = rows[-1][3] / max(1, rows[-1][1])
     assert last_ratio > first_ratio
+
+    record_bench(
+        "e8", benchmark,
+        widths=len(rows),
+        largest_ordered_wire_length=rows[-1][1],
+        largest_shuffled_wire_length=rows[-1][3],
+    )

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.cells import NandCell
 from repro.extract import extract_cell
 from repro.metrics import format_table
@@ -91,3 +91,11 @@ def test_e9_three_level_cosimulation(benchmark, technology):
     # The behavioural model is the faster one — that is why the paper's
     # tradition simulates at the RTL level and verifies downward.
     assert rtl_seconds < gate_seconds
+
+    record_bench(
+        "e9", benchmark,
+        cycles=CYCLES,
+        rtl_seconds=round(rtl_seconds, 6),
+        gate_seconds=round(gate_seconds, 6),
+        switch_checks=switch_checks,
+    )

@@ -3,11 +3,21 @@
 Every benchmark regenerates one experiment from DESIGN.md (E1..E10) and
 prints a paper-style table of the rows it measured, in addition to the
 pytest-benchmark timing of the compilation step it exercises.
+
+Each benchmark also writes a machine-readable ``BENCH_e*.json`` (wall time
+plus the experiment's headline counts) into ``benchmarks/results/`` via
+:func:`record_bench`, so the performance trajectory can be tracked across
+PRs by diffing small JSON files instead of parsing benchmark logs.
 """
+
+import json
+import os
 
 import pytest
 
 from repro.technology import nmos_technology
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
 @pytest.fixture(scope="session")
@@ -21,3 +31,35 @@ def emit(table_text: str) -> None:
     print()
     print(table_text)
     print()
+
+
+def benchmark_seconds(benchmark):
+    """Mean wall time of the pytest-benchmark run, or None outside one."""
+    try:
+        return benchmark.stats.stats.mean
+    except AttributeError:
+        return None
+
+
+def record_bench(experiment: str, benchmark=None, **fields) -> str:
+    """Write ``benchmarks/results/BENCH_<experiment>.json``.
+
+    ``benchmark`` may be the pytest-benchmark fixture; its mean wall time is
+    recorded as ``wall_time_s``.  Additional keyword fields (shape counts,
+    transistor counts, speedups, ...) are stored verbatim.  Returns the path
+    written so callers can mention it in logs.
+    """
+    # No timestamp/host fields: the files are committed so the trajectory is
+    # diffable across PRs, and non-measurement churn would bury real changes
+    # (git history already dates each value).
+    payload = {"experiment": experiment}
+    wall = benchmark_seconds(benchmark) if benchmark is not None else None
+    if wall is not None:
+        payload["wall_time_s"] = round(wall, 4)
+    payload.update(fields)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

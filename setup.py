@@ -21,7 +21,8 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # slots=True dataclasses (Point/Rect/Transform/Shape/Label) need 3.10+.
+    python_requires=">=3.10",
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },

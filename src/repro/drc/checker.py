@@ -12,8 +12,12 @@ Checks performed (all in lambda, all on the flattened layout):
 * exact-size rules (contact cuts).
 
 The checker is deliberately conservative and rectangle-based: that matches
-the 1979-80 era tools (and the geometry our generators emit), and keeps the
-runtime linear-ish in the number of rectangle pairs per neighbourhood.
+the 1979-80 era tools (and the geometry our generators emit).  All
+neighbourhood questions go through the spatial index
+(:mod:`repro.geometry.index`), so the cost per rectangle depends on its
+local neighbourhood, not on the total rectangle count; ``use_index=False``
+selects the all-pairs reference path, which golden-equivalence tests compare
+against.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.geometry.index import SpatialIndex, build_index
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
@@ -50,14 +55,29 @@ class DrcViolation:
 class DrcChecker:
     """Checks a cell hierarchy against a technology's rule set."""
 
-    def __init__(self, technology: Technology):
+    def __init__(self, technology: Technology, use_index: bool = True):
         self.technology = technology
+        self.use_index = use_index
 
     def check(self, cell: Cell) -> List[DrcViolation]:
         """Flatten ``cell`` and return all violations found."""
         flat = flatten_cell(cell)
         rects_by_layer = flat.rects_by_layer()
-        merged = {layer: _merge_touching(rects) for layer, rects in rects_by_layer.items()}
+        brute = not self.use_index
+        merged = {layer: _merge_touching(rects, brute_force=brute)
+                  for layer, rects in rects_by_layer.items()}
+        # One index per layer, shared by every rule touching that layer.
+        merged_index: Dict[str, SpatialIndex] = {}
+        raw_index: Dict[str, SpatialIndex] = {}
+
+        def index_of(table: Dict[str, SpatialIndex], rects: Dict[str, List[Rect]],
+                     layer: str) -> SpatialIndex:
+            index = table.get(layer)
+            if index is None:
+                index = build_index(rects.get(layer, []), brute_force=brute)
+                table[layer] = index
+            return index
+
         violations: List[DrcViolation] = []
         for rule in self.technology.rules:
             if rule.kind is RuleKind.MIN_WIDTH:
@@ -66,7 +86,7 @@ class DrcChecker:
                 violations.extend(self._check_spacing(
                     rule,
                     merged.get(rule.layers[0], []),
-                    merged.get(rule.layers[1], []),
+                    index_of(merged_index, merged, rule.layers[1]),
                     same_layer=rule.layers[0] == rule.layers[1],
                 ))
             elif rule.kind is RuleKind.MIN_ENCLOSURE:
@@ -79,6 +99,7 @@ class DrcChecker:
                 violations.extend(self._check_enclosure(
                     rule,
                     rects_by_layer.get(rule.layers[0], []),
+                    index_of(raw_index, rects_by_layer, rule.layers[0]),
                     rects_by_layer.get(rule.layers[1], []),
                 ))
             elif rule.kind is RuleKind.EXACT_SIZE:
@@ -109,11 +130,17 @@ class DrcChecker:
         return violations
 
     def _check_spacing(self, rule: DesignRule, rects_a: List[Rect],
-                       rects_b: List[Rect], same_layer: bool) -> List[DrcViolation]:
+                       index_b: SpatialIndex, same_layer: bool) -> List[DrcViolation]:
         violations = []
+        rects_b = index_b.rects
+        # Only rectangles with a gap strictly below the rule value can
+        # violate it; the index hands back exactly that neighbourhood.
+        reach = rule.value - 1
         for index_a, rect_a in enumerate(rects_a):
-            candidates = rects_a[index_a + 1:] if same_layer else rects_b
-            for rect_b in candidates:
+            for candidate in index_b.neighbors(rect_a, reach):
+                if same_layer and candidate <= index_a:
+                    continue   # each unordered pair once, as in the pair scan
+                rect_b = rects_b[candidate]
                 if rect_a.touches(rect_b):
                     continue   # touching shapes are connected, not spaced
                 gap = rect_a.distance_to(rect_b)
@@ -125,19 +152,24 @@ class DrcChecker:
         return violations
 
     def _check_enclosure(self, rule: DesignRule, outer: List[Rect],
+                         outer_index: SpatialIndex,
                          inner: List[Rect]) -> List[DrcViolation]:
         violations = []
         for rect in inner:
             # Conditional rule: enclosure is only required where the two
             # layers actually interact (e.g. implant around *depletion*
             # gates, poly around *poly* contacts).
-            if not any(out.overlaps(rect, strict=True) for out in outer):
+            if not any(outer[i].overlaps(rect, strict=True)
+                       for i in outer_index.query(rect, strict=True)):
                 continue
             required = rect.expanded(rule.value)
-            if not any(out.contains_rect(required) for out in outer):
+            # Rectangles not touching the grown region can neither contain
+            # nor help cover it, so the check runs on the neighbourhood only.
+            nearby = [outer[i] for i in outer_index.query(required)]
+            if not any(out.contains_rect(required) for out in nearby):
                 # Allow enclosure to be met by a union of outer rectangles.
-                if not _covered_by(required, outer):
-                    actual = _best_enclosure(rect, outer)
+                if not _covered_by(required, nearby):
+                    actual = _best_enclosure(rect, nearby)
                     violations.append(DrcViolation(
                         rule.label, rule.kind, rule.layers, rule.value, actual, rect
                     ))
@@ -162,42 +194,22 @@ def check_cell(cell: Cell, technology: Technology) -> List[DrcViolation]:
 # -- geometry helpers ---------------------------------------------------------------------
 
 
-def _merge_touching(rects: Sequence[Rect]) -> List[Rect]:
+def _merge_touching(rects: Sequence[Rect], brute_force: bool = False) -> List[Rect]:
     """Merge overlapping/abutting same-layer rectangles into maximal regions.
 
     The merge is approximate (union of bounding boxes of connected groups
     only when the union is exactly covered by the group); otherwise the
     original rectangles of the group are kept.  This is sufficient to avoid
     false width errors from rail segments drawn as several pieces.
+    Connectivity comes from the spatial index's sweep-line merge instead of
+    an all-pairs touch scan.
     """
     remaining = [r for r in rects if not r.is_degenerate]
     if not remaining:
         return []
-    # Union-find over touching rectangles.
-    parent = list(range(len(remaining)))
-
-    def find(i: int) -> int:
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
-        return i
-
-    def union(i: int, j: int) -> None:
-        root_i, root_j = find(i), find(j)
-        if root_i != root_j:
-            parent[root_i] = root_j
-
-    for i in range(len(remaining)):
-        for j in range(i + 1, len(remaining)):
-            if remaining[i].touches(remaining[j]):
-                union(i, j)
-
-    groups: Dict[int, List[Rect]] = {}
-    for index, rect in enumerate(remaining):
-        groups.setdefault(find(index), []).append(rect)
-
     merged: List[Rect] = []
-    for group in groups.values():
+    for component in build_index(remaining, brute_force=brute_force).connected_components():
+        group = [remaining[i] for i in component]
         bounding = group[0]
         for rect in group[1:]:
             bounding = bounding.union(rect)

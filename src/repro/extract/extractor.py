@@ -11,6 +11,13 @@ The extraction model mirrors how the layout generators construct devices:
 * contact cuts connect every conducting layer present under them;
 * labels give nodes their names; ``vdd`` and ``gnd`` labels identify the
   supplies.
+
+All geometric neighbourhood questions (layer crossings, same-layer
+connectivity, contact hits, channel terminals) are answered by the spatial
+index (:mod:`repro.geometry.index`), so extraction cost scales with local
+congestion rather than quadratically with total rectangle count.
+``use_index=False`` selects the historical all-pairs scans; the golden
+equivalence tests verify both paths produce identical netlists.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.geometry.index import SpatialIndex, UnionFind, build_index
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
@@ -50,24 +58,17 @@ class _NodeBuilder:
 
     def __init__(self) -> None:
         self.items: List[Tuple[str, Rect]] = []
-        self.parent: List[int] = []
+        self._finder = UnionFind()
 
     def add(self, layer: str, rect: Rect) -> int:
-        index = len(self.items)
         self.items.append((layer, rect))
-        self.parent.append(index)
-        return index
+        return self._finder.add()
 
     def find(self, index: int) -> int:
-        while self.parent[index] != index:
-            self.parent[index] = self.parent[self.parent[index]]
-            index = self.parent[index]
-        return index
+        return self._finder.find(index)
 
     def union(self, a: int, b: int) -> None:
-        root_a, root_b = self.find(a), self.find(b)
-        if root_a != root_b:
-            self.parent[root_a] = root_b
+        self._finder.union(a, b)
 
     def groups(self) -> Dict[int, List[int]]:
         result: Dict[int, List[int]] = {}
@@ -79,8 +80,9 @@ class _NodeBuilder:
 class Extractor:
     """Extract transistor netlists from NMOS layout."""
 
-    def __init__(self, technology: Technology):
+    def __init__(self, technology: Technology, use_index: bool = True):
         self.technology = technology
+        self.use_index = use_index
         self._diffusion_layers = [
             name for name in ("diffusion", "active") if technology.has_layer(name)
         ]
@@ -88,6 +90,7 @@ class Extractor:
     # -- main entry point ------------------------------------------------------------
 
     def extract(self, cell: Cell) -> ExtractedCircuit:
+        brute = not self.use_index
         flat = flatten_cell(cell)
         rects = flat.rects_by_layer()
         diffusion = [r for layer in self._diffusion_layers for r in rects.get(layer, [])]
@@ -98,22 +101,27 @@ class Extractor:
         implant = rects.get("implant", [])
 
         # 1. Find channels: poly x diffusion crossings not covered by buried.
+        diffusion_index = build_index(diffusion, brute_force=brute)
+        buried_index = build_index(buried, brute_force=brute)
         channels: List[Rect] = []
         for poly_rect in poly:
-            for diff_rect in diffusion:
-                overlap = poly_rect.intersection(diff_rect)
+            for diff_id in diffusion_index.query(poly_rect, strict=True):
+                overlap = poly_rect.intersection(diffusion[diff_id])
                 if overlap is None or overlap.is_degenerate:
                     continue
-                if any(b.contains_rect(overlap) for b in buried):
+                if any(buried[i].contains_rect(overlap)
+                       for i in buried_index.query(overlap)):
                     continue
                 channels.append(overlap)
         channels = _dedupe(channels)
 
-        # 2. Split diffusion by the channels.
+        # 2. Split diffusion by the channels that actually cross each piece.
+        channel_index = build_index(channels, brute_force=brute)
         diffusion_pieces: List[Rect] = []
         for diff_rect in diffusion:
             pieces = [diff_rect]
-            for channel in channels:
+            for channel_id in channel_index.query(diff_rect, strict=True):
+                channel = channels[channel_id]
                 next_pieces: List[Rect] = []
                 for piece in pieces:
                     next_pieces.extend(piece.subtract(channel))
@@ -126,51 +134,60 @@ class Extractor:
         poly_ids = [builder.add("poly", r) for r in poly]
         metal_ids = [builder.add("metal", r) for r in metal]
 
-        _connect_same_layer(builder, diff_ids)
-        _connect_same_layer(builder, poly_ids)
-        _connect_same_layer(builder, metal_ids)
+        _connect_same_layer(builder, diff_ids, diffusion_pieces, brute)
+        _connect_same_layer(builder, poly_ids, poly, brute)
+        _connect_same_layer(builder, metal_ids, metal, brute)
+
+        # One index over all conducting items; ids coincide with builder ids
+        # because the items were added in the same order.
+        conducting = diffusion_pieces + poly + metal
+        conducting_index = build_index(conducting, brute_force=brute)
+        metal_start = len(diff_ids) + len(poly_ids)
 
         # Contacts join every conducting layer they touch.
         for cut in contacts:
-            touching = [
-                item_id for item_id in diff_ids + poly_ids + metal_ids
-                if builder.items[item_id][1].touches(cut)
-            ]
+            touching = conducting_index.query(cut)
             for first, second in zip(touching, touching[1:]):
                 builder.union(first, second)
         # Buried contacts join poly and diffusion directly.
         for buried_rect in buried:
-            touching = [
-                item_id for item_id in diff_ids + poly_ids
-                if builder.items[item_id][1].overlaps(buried_rect, strict=True)
-            ]
+            touching = [item_id for item_id in
+                        conducting_index.query(buried_rect, strict=True)
+                        if item_id < metal_start]
             for first, second in zip(touching, touching[1:]):
                 builder.union(first, second)
 
-        # 4. Name the nodes using labels.
+        # 4. Name the nodes using labels.  Each label is resolved to the
+        # groups whose geometry contains its position via a point query;
+        # a group takes the first label that hits it, except that the first
+        # supply label (vdd/gnd) to hit always wins — the same precedence the
+        # historical per-group label scan implemented.
+        first_hit: Dict[int, str] = {}
+        supply_hit: Dict[int, str] = {}
+        for label in flat.labels:
+            text, position, layer = label.text, label.position, label.layer
+            lowered = text.lower()
+            is_supply = lowered in ("vdd", "gnd")
+            probe = Rect(position.x, position.y, position.x, position.y)
+            for item_id in conducting_index.query(probe):
+                member_layer = builder.items[item_id][0]
+                if layer and layer != member_layer and not (
+                    layer in self._diffusion_layers and member_layer == "diffusion"
+                ):
+                    continue
+                root = builder.find(item_id)
+                if is_supply:
+                    supply_hit.setdefault(root, lowered)
+                else:
+                    first_hit.setdefault(root, text)
         node_of_item: Dict[int, str] = {}
         names: Dict[int, str] = {}
         counter = 0
-        label_points = [(label.text, label.position, label.layer) for label in flat.labels]
         groups = builder.groups()
         for root, members in groups.items():
-            name: Optional[str] = None
-            for text, position, layer in label_points:
-                for member in members:
-                    member_layer, member_rect = builder.items[member]
-                    if layer and layer != member_layer and not (
-                        layer in self._diffusion_layers and member_layer == "diffusion"
-                    ):
-                        continue
-                    if member_rect.contains_point(position):
-                        lowered = text.lower()
-                        if lowered in ("vdd", "gnd"):
-                            name = lowered
-                        elif name is None:
-                            name = text
-                        break
-                if name in ("vdd", "gnd"):
-                    break
+            name = supply_hit.get(root)
+            if name is None:
+                name = first_hit.get(root)
             if name is None:
                 name = f"n{counter}"
                 counter += 1
@@ -179,17 +196,24 @@ class Extractor:
             for member in members:
                 node_of_item[member] = names[root]
 
-        # 5. Emit transistors.
+        # 5. Emit transistors.  Terminal lookups run on per-layer indexes
+        # whose ids map back to builder ids by a constant offset.
+        poly_index = build_index(poly, brute_force=brute)
+        diff_piece_index = build_index(diffusion_pieces, brute_force=brute)
+        implant_index = build_index(implant, brute_force=brute)
         network = SwitchNetwork(cell.name)
         enhancement = depletion = 0
         for index, channel in enumerate(channels):
-            gate_node = _node_containing(builder, poly_ids, node_of_item, channel)
-            terminals = _adjacent_nodes(builder, diff_ids, node_of_item, channel)
+            gate_node = _node_containing(
+                poly, poly_index, len(diff_ids), node_of_item, channel)
+            terminals = _adjacent_nodes(
+                diffusion_pieces, diff_piece_index, node_of_item, channel)
             if gate_node is None or not terminals:
                 continue
             source = terminals[0]
             drain = terminals[1] if len(terminals) > 1 else terminals[0]
-            is_depletion = any(imp.contains_rect(channel) for imp in implant)
+            is_depletion = any(implant[i].contains_rect(channel)
+                               for i in implant_index.query(channel))
             kind = TransistorKind.DEPLETION if is_depletion else TransistorKind.ENHANCEMENT
             if is_depletion:
                 depletion += 1
@@ -256,30 +280,32 @@ def _dedupe(rects: Sequence[Rect]) -> List[Rect]:
     return result
 
 
-def _connect_same_layer(builder: _NodeBuilder, ids: List[int]) -> None:
-    for position, first in enumerate(ids):
-        for second in ids[position + 1:]:
-            if builder.items[first][1].touches(builder.items[second][1]):
-                builder.union(first, second)
+def _connect_same_layer(builder: _NodeBuilder, ids: List[int],
+                        layer_rects: Sequence[Rect], brute_force: bool) -> None:
+    """Union all touching rectangles of one layer (ids parallel layer_rects)."""
+    for component in build_index(layer_rects, brute_force=brute_force).connected_components():
+        for first, second in zip(component, component[1:]):
+            builder.union(ids[first], ids[second])
 
 
-def _node_containing(builder: _NodeBuilder, candidate_ids: List[int],
-                     node_of_item: Dict[int, str], region: Rect) -> Optional[str]:
-    for item_id in candidate_ids:
-        if builder.items[item_id][1].contains_rect(region) or \
-                builder.items[item_id][1].overlaps(region, strict=True):
-            return node_of_item[item_id]
+def _node_containing(poly: Sequence[Rect], poly_index: SpatialIndex,
+                     id_offset: int, node_of_item: Dict[int, str],
+                     region: Rect) -> Optional[str]:
+    for local_id in poly_index.query(region):
+        rect = poly[local_id]
+        if rect.contains_rect(region) or rect.overlaps(region, strict=True):
+            return node_of_item[id_offset + local_id]
     return None
 
 
-def _adjacent_nodes(builder: _NodeBuilder, diff_ids: List[int],
+def _adjacent_nodes(pieces: Sequence[Rect], piece_index: SpatialIndex,
                     node_of_item: Dict[int, str], channel: Rect) -> List[str]:
     """Diffusion nodes that abut the channel region (source and drain)."""
     found: List[str] = []
-    for item_id in diff_ids:
-        rect = builder.items[item_id][1]
-        if rect.touches(channel) and not rect.overlaps(channel, strict=True):
-            node = node_of_item[item_id]
+    for local_id in piece_index.query(channel):
+        rect = pieces[local_id]
+        if not rect.overlaps(channel, strict=True):
+            node = node_of_item[local_id]
             if node not in found:
                 found.append(node)
     return found

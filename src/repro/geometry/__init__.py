@@ -17,6 +17,7 @@ from repro.geometry.rect import Rect
 from repro.geometry.polygon import Polygon, polygon_area, polygon_centroid
 from repro.geometry.path import Path, path_to_polygon
 from repro.geometry.bbox import BoundingBox, union_bbox
+from repro.geometry.index import SpatialIndex, GridIndex, BruteForceIndex, build_index
 
 __all__ = [
     "Point",
@@ -24,6 +25,10 @@ __all__ = [
     "Transform",
     "Orientation",
     "Rect",
+    "SpatialIndex",
+    "GridIndex",
+    "BruteForceIndex",
+    "build_index",
     "Polygon",
     "polygon_area",
     "polygon_centroid",

@@ -12,12 +12,13 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Point:
     """A point on the integer layout grid.
 
     Points are immutable and hashable so they can be used as dictionary keys
-    (e.g. by routers and extraction connectivity tracing).
+    (e.g. by routers and extraction connectivity tracing).  Slotted because
+    flattening and extraction allocate them by the million.
     """
 
     x: int

@@ -9,14 +9,15 @@ from repro.geometry.point import Point
 from repro.geometry.transform import Transform
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Rect:
     """A closed axis-aligned rectangle with integer corners.
 
     Stored as lower-left ``(x1, y1)`` and upper-right ``(x2, y2)`` with
     ``x1 <= x2`` and ``y1 <= y2``.  Degenerate (zero-width or zero-height)
     rectangles are permitted; they are useful as construction aids but are
-    rejected by the layout database when added as mask geometry.
+    rejected by the layout database when added as mask geometry.  Slotted
+    because flattening and extraction allocate them by the million.
     """
 
     x1: int

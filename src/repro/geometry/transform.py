@@ -98,7 +98,7 @@ for _o in Orientation:
             break
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transform:
     """An orientation followed by a translation.
 

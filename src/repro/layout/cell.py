@@ -60,7 +60,13 @@ class CellInstance:
 
 
 class Cell:
-    """A layout cell: geometry + labels + ports + child instances."""
+    """A layout cell: geometry + labels + ports + child instances.
+
+    Mutate cells only through the ``add_*`` methods (or call
+    :meth:`_mutated` after touching ``shapes``/``labels``/``instances``
+    directly): the memoized flat views in :mod:`repro.layout.flatten` rely
+    on the mutation counter those methods maintain.
+    """
 
     def __init__(self, name: str):
         if not name or any(ch.isspace() for ch in name):
@@ -70,11 +76,22 @@ class Cell:
         self.labels: List[Label] = []
         self.instances: List[CellInstance] = []
         self._ports: Dict[str, Port] = {}
+        # Mutation counter: bumped on every geometry/label/instance change so
+        # that cached flat views (repro.layout.flatten) can detect staleness.
+        self._version = 0
+        self._flat_cache = None
 
     # -- construction -------------------------------------------------------
 
+    def _mutated(self) -> None:
+        """Record a mutation: invalidates any cached flat view of this cell
+        (and, transitively, of every cell instantiating it)."""
+        self._version += 1
+        self._flat_cache = None
+
     def add_shape(self, shape: Shape) -> Shape:
         self.shapes.append(shape)
+        self._mutated()
         return shape
 
     def add_rect(self, layer: str, rect: Rect) -> Shape:
@@ -92,6 +109,7 @@ class Cell:
     def add_label(self, text: str, position: Point, layer: str = "") -> Label:
         label = Label(text, position, layer)
         self.labels.append(label)
+        self._mutated()
         return label
 
     def add_port(self, name: str, position: Point, layer: str, direction: str = "") -> Port:
@@ -100,6 +118,7 @@ class Cell:
         port = Port(name, position, layer, direction)
         self._ports[name] = port
         self.labels.append(Label(name, position, layer))
+        self._mutated()
         return port
 
     def add_instance(self, cell: "Cell", transform: Optional[Transform] = None,
@@ -110,6 +129,7 @@ class Cell:
             )
         instance = CellInstance(cell, transform or Transform.identity(), name)
         self.instances.append(instance)
+        self._mutated()
         return instance
 
     def place(self, cell: "Cell", x: int, y: int,

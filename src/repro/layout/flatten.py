@@ -4,11 +4,19 @@ The DRC, extractor and mask-area metrics operate on a flat view of the
 layout: every shape of every instance expanded into top-level coordinates.
 Flattening is also how we measure the leverage of hierarchy (experiment E6):
 the ratio of flattened geometry to hierarchical description size.
+
+Flat views are **memoized per cell**: each distinct cell's flat view is
+built once and composed into its parents under the instance transforms,
+instead of re-walking the whole hierarchy on every call.  The cache is
+invalidated by the cell mutation counter (see :meth:`Cell._mutated`), so
+editing any cell — at any depth — transparently rebuilds exactly the views
+that depend on it.  Callers must treat a returned :class:`FlatLayout` as
+read-only; the shape and label objects are shared with the cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.geometry.rect import Rect
 from repro.geometry.transform import Transform
@@ -21,11 +29,14 @@ def flatten_cell(cell: Cell, max_depth: Optional[int] = None) -> "FlatLayout":
 
     ``max_depth`` limits how many levels of hierarchy are expanded;
     ``None`` means fully flatten.  Depth 0 returns only the cell's own
-    geometry.
+    geometry.  Full flattens are served from the per-cell cache; depth-
+    limited flattens are always built fresh.
     """
-    flat = FlatLayout(cell.name)
-    _flatten_into(flat, cell, Transform.identity(), 0, max_depth)
-    return flat
+    if max_depth is not None:
+        flat = FlatLayout(cell.name)
+        _flatten_into(flat, cell, Transform.identity(), 0, max_depth)
+        return flat
+    return _flat_view(cell, {})
 
 
 def _flatten_into(flat: "FlatLayout", cell: Cell, transform: Transform,
@@ -43,31 +54,106 @@ def _flatten_into(flat: "FlatLayout", cell: Cell, transform: Transform,
         _flatten_into(flat, instance.cell, child_transform, depth + 1, max_depth)
 
 
+# -- memoized flat views ------------------------------------------------------
+
+
+def _subtree_token(cell: Cell, memo: Dict[int, Tuple]) -> Tuple:
+    """A value identifying the current state of ``cell``'s whole subtree.
+
+    Composed of the cell's own mutation counter and the tokens of its
+    children, so any mutation anywhere below changes the token.  ``memo``
+    deduplicates shared cells within one computation (the hierarchy is a
+    DAG, not a tree).
+    """
+    token = memo.get(id(cell))
+    if token is None:
+        token = (cell._version,
+                 tuple(_subtree_token(inst.cell, memo) for inst in cell.instances))
+        memo[id(cell)] = token
+    return token
+
+
+def _flat_view(cell: Cell, memo: Dict[int, Tuple]) -> "FlatLayout":
+    """The cached flat view of ``cell``, rebuilt if any subtree cell mutated."""
+    token = _subtree_token(cell, memo)
+    cached = cell._flat_cache
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    flat = FlatLayout(cell.name)
+    shapes, labels = flat.shapes, flat.labels
+    shapes.extend(cell.shapes)
+    labels.extend(cell.labels)
+    for instance in cell.instances:
+        child = _flat_view(instance.cell, memo)
+        transform = instance.transform
+        if transform.is_identity:
+            shapes.extend(child.shapes)
+            labels.extend(child.labels)
+        else:
+            shapes.extend(shape.transformed(transform) for shape in child.shapes)
+            labels.extend(label.transformed(transform) for label in child.labels)
+    cell._flat_cache = (token, flat)
+    return flat
+
+
 class FlatLayout:
-    """The result of flattening: shapes and labels in one coordinate system."""
+    """The result of flattening: shapes and labels in one coordinate system.
+
+    Layer lookups are served from buckets built once per view on first use
+    and cached, so ``shapes_on_layer`` / ``rects_by_layer`` are cheap no
+    matter how often the analysis passes ask.  A ``FlatLayout`` is
+    **read-only after construction**: instances returned by
+    :func:`flatten_cell` may be shared by the cache, and mutating
+    ``shapes``/``labels`` after the first layer query would serve stale
+    buckets.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.shapes: List[Shape] = []
         self.labels: List[Label] = []
         self.unexpanded_instances = 0
+        self._shapes_by_layer: Optional[Dict[str, List[Shape]]] = None
+        self._rects_by_layer: Optional[Dict[str, List[Rect]]] = None
+
+    # -- layer buckets ------------------------------------------------------
+
+    def _buckets(self) -> Dict[str, List[Shape]]:
+        buckets = self._shapes_by_layer
+        if buckets is None:
+            buckets = {}
+            for shape in self.shapes:
+                bucket = buckets.get(shape.layer)
+                if bucket is None:
+                    buckets[shape.layer] = [shape]
+                else:
+                    bucket.append(shape)
+            self._shapes_by_layer = buckets
+        return buckets
 
     def shapes_on_layer(self, layer: str) -> List[Shape]:
-        return [shape for shape in self.shapes if shape.layer == layer]
+        return list(self._buckets().get(layer, ()))
 
     def rects_by_layer(self) -> Dict[str, List[Rect]]:
-        """All geometry reduced to rectangles, grouped by layer."""
-        result: Dict[str, List[Rect]] = {}
-        for shape in self.shapes:
-            result.setdefault(shape.layer, []).extend(shape.as_rects())
-        return result
+        """All geometry reduced to rectangles, grouped by layer.
+
+        The rectangle decomposition is cached; callers get fresh dict/list
+        containers (sharing the immutable ``Rect`` values), so mutating the
+        result cannot corrupt the cached view.
+        """
+        rects = self._rects_by_layer
+        if rects is None:
+            rects = {}
+            for layer, bucket in self._buckets().items():
+                layer_rects: List[Rect] = []
+                for shape in bucket:
+                    layer_rects.extend(shape.as_rects())
+                rects[layer] = layer_rects
+            self._rects_by_layer = rects
+        return {layer: list(layer_rects) for layer, layer_rects in rects.items()}
 
     def layers(self) -> List[str]:
-        seen: List[str] = []
-        for shape in self.shapes:
-            if shape.layer not in seen:
-                seen.append(shape.layer)
-        return seen
+        return list(self._buckets().keys())
 
     def bbox(self) -> Optional[Rect]:
         box: Optional[Rect] = None

@@ -27,9 +27,10 @@ class ShapeKind(Enum):
     WIRE = "wire"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Shape:
-    """A piece of mask geometry on a layer."""
+    """A piece of mask geometry on a layer (slotted: allocated per instance
+    per shape during flattening)."""
 
     layer: str
     geometry: Geometry
@@ -79,7 +80,7 @@ class Shape:
         return merged_area(self.as_rects())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Label:
     """A named point on a layer, used to mark ports and internal nets."""
 

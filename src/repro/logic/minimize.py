@@ -40,19 +40,62 @@ def minimize(source: Source, method: str = "exact") -> Cover:
 
 
 def minimize_exact(source: Source, branch_limit: int = 18) -> Cover:
-    """Quine–McCluskey minimisation (per output, then product-term sharing)."""
+    """Quine–McCluskey minimisation with multi-output product-term sharing.
+
+    Prime implicants are generated per output, but the covering problem is
+    solved *jointly* over all (output, minterm) pairs: a candidate implicant
+    that serves several outputs covers all of their minterms at the cost of
+    a single product term, which is exactly the sharing a PLA rewards.  The
+    result is guaranteed to never use more product terms than the canonical
+    cover of the source.
+    """
     on_sets, dc_sets, input_names, output_names, num_inputs = _decompose(source)
-    per_output_cubes: Dict[str, List[str]] = {}
-    for column, output_name in enumerate(output_names):
-        on_set = on_sets[column]
-        dc_set = dc_sets[column]
-        if not on_set:
-            per_output_cubes[output_name] = []
-            continue
-        primes = _prime_implicants(on_set | dc_set, num_inputs)
-        chosen = _select_cover(on_set, primes, num_inputs, branch_limit)
-        per_output_cubes[output_name] = chosen
-    return _share_terms(per_output_cubes, input_names, output_names)
+    canonical = _as_cover(source)
+    if num_inputs == 0 or not any(on_sets):
+        return canonical if num_inputs == 0 else _share_terms(
+            {name: [] for name in output_names}, input_names, output_names)
+
+    care_sets = [on | dc for on, dc in zip(on_sets, dc_sets)]
+
+    # Candidate implicants: every single-output prime, plus every on-set
+    # minterm cube (the minterm cubes keep the canonical cover reachable,
+    # which is what makes the never-worse guarantee an invariant rather
+    # than luck).
+    candidates: Set[str] = set()
+    for column in range(len(output_names)):
+        if on_sets[column]:
+            candidates.update(_prime_implicants(care_sets[column], num_inputs))
+        for minterm in on_sets[column]:
+            candidates.add(_minterm_to_cube_string(minterm, num_inputs))
+
+    # A candidate is usable for an output when all of its minterms lie in
+    # that output's care set; it then covers that output's on-minterms.
+    coverage: Dict[str, Set[Tuple[int, int]]] = {}
+    for candidate in candidates:
+        cube_size = 2 ** candidate.count("-")
+        covered: Set[Tuple[int, int]] = set()
+        for column in range(len(output_names)):
+            in_care = [m for m in care_sets[column] if _cube_covers(candidate, m)]
+            if len(in_care) != cube_size:
+                continue   # would assert a 0 of this output somewhere
+            on_set = on_sets[column]
+            covered.update((column, m) for m in in_care if m in on_set)
+        if covered:
+            coverage[candidate] = covered
+
+    chosen = _select_joint_cover(coverage, branch_limit)
+
+    per_output_cubes: Dict[str, List[str]] = {name: [] for name in output_names}
+    for candidate in chosen:
+        for column in sorted({column for column, _ in coverage[candidate]}):
+            per_output_cubes[output_names[column]].append(candidate)
+    result = _share_terms(per_output_cubes, input_names, output_names)
+    if result.num_terms > max(1, canonical.num_terms):
+        # The greedy fallback (used above the branch limit) carries no
+        # optimality guarantee; never hand back something worse than the
+        # input.
+        return canonical
+    return result
 
 
 def minimize_heuristic(source: Source, max_passes: int = 8) -> Cover:
@@ -179,46 +222,63 @@ def _cube_covers(implicant: str, minterm: int) -> bool:
     return True
 
 
-def _select_cover(on_set: Set[int], primes: List[str], num_inputs: int,
-                  branch_limit: int) -> List[str]:
-    """Choose a subset of primes covering the on-set.
+def _select_joint_cover(coverage: Dict[str, Set[Tuple[int, int]]],
+                        branch_limit: int) -> List[str]:
+    """Choose candidates covering every (output, minterm) element.
 
-    Essential primes are taken first; the residual covering problem is solved
-    exactly by branch and bound when small, greedily otherwise.
+    Dominated candidates are dropped, essential candidates (sole cover of
+    some element) are taken first, and the residual covering problem is
+    solved exactly by branch and bound when small, greedily otherwise.
     """
-    uncovered = set(on_set)
-    coverage: Dict[str, Set[int]] = {
-        prime: {m for m in on_set if _cube_covers(prime, m)} for prime in primes
-    }
+    if not coverage:
+        return []
+    # One representative per distinct coverage set: the most general cube
+    # (most dashes), ties broken lexicographically for determinism.
+    representative: Dict[FrozenSet[Tuple[int, int]], str] = {}
+    for candidate in sorted(coverage):
+        key = frozenset(coverage[candidate])
+        current = representative.get(key)
+        if current is None or candidate.count("-") > current.count("-"):
+            representative[key] = candidate
+    # Drop candidates whose coverage is a strict subset of another's.
+    cover_sets = list(representative.keys())
+    kept = sorted(
+        candidate for key, candidate in representative.items()
+        if not any(key < other for other in cover_sets)
+    )
+
+    uncovered: Set[Tuple[int, int]] = set()
+    for candidate in kept:
+        uncovered |= coverage[candidate]
     chosen: List[str] = []
 
-    # Essential primes: minterms covered by exactly one prime.
+    # Essential candidates: elements covered by exactly one candidate.
     changed = True
     while changed and uncovered:
         changed = False
-        for minterm in list(uncovered):
-            covering = [prime for prime in primes if minterm in coverage[prime]]
+        for element in sorted(uncovered):
+            covering = [c for c in kept if element in coverage[c]]
             if len(covering) == 1:
-                prime = covering[0]
-                if prime not in chosen:
-                    chosen.append(prime)
-                uncovered -= coverage[prime]
+                candidate = covering[0]
+                if candidate not in chosen:
+                    chosen.append(candidate)
+                uncovered -= coverage[candidate]
                 changed = True
                 break
 
     if not uncovered:
         return chosen
 
-    remaining_primes = [prime for prime in primes if prime not in chosen and coverage[prime] & uncovered]
-    if len(remaining_primes) <= branch_limit:
-        best = _branch_and_bound(uncovered, remaining_primes, coverage)
+    remaining = [c for c in kept if c not in chosen and coverage[c] & uncovered]
+    if len(remaining) <= branch_limit:
+        best = _branch_and_bound(uncovered, remaining, coverage)
     else:
-        best = _greedy_cover(uncovered, remaining_primes, coverage)
+        best = _greedy_cover(uncovered, remaining, coverage)
     return chosen + best
 
 
-def _greedy_cover(uncovered: Set[int], primes: List[str],
-                  coverage: Dict[str, Set[int]]) -> List[str]:
+def _greedy_cover(uncovered: Set, primes: List[str],
+                  coverage: Dict[str, Set]) -> List[str]:
     chosen: List[str] = []
     remaining = set(uncovered)
     while remaining:
@@ -234,11 +294,11 @@ def _greedy_cover(uncovered: Set[int], primes: List[str],
     return chosen
 
 
-def _branch_and_bound(uncovered: Set[int], primes: List[str],
-                      coverage: Dict[str, Set[int]]) -> List[str]:
+def _branch_and_bound(uncovered: Set, primes: List[str],
+                      coverage: Dict[str, Set]) -> List[str]:
     best_solution: List[List[str]] = [list(primes)]
 
-    def recurse(remaining: FrozenSet[int], available: Tuple[str, ...], chosen: List[str]) -> None:
+    def recurse(remaining: FrozenSet, available: Tuple[str, ...], chosen: List[str]) -> None:
         if len(chosen) >= len(best_solution[0]):
             return
         if not remaining:

@@ -1,0 +1,118 @@
+"""The spatial index must agree exactly with the all-pairs reference.
+
+The grid index is pure optimisation: for any rectangle soup, ``query``,
+``neighbors`` and ``connected_components`` must return byte-identical
+results to :class:`BruteForceIndex`.  Randomised soups (hypothesis) probe
+the general case; the unit tests pin the touch/overlap edge semantics the
+DRC and extractor depend on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.index import BruteForceIndex, GridIndex, build_index
+from repro.geometry.rect import Rect
+
+coords = st.integers(min_value=-300, max_value=300)
+
+
+def rect_soups(max_rects=40, max_size=60):
+    rect = st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h),
+        coords, coords,
+        st.integers(min_value=0, max_value=max_size),
+        st.integers(min_value=0, max_value=max_size),
+    )
+    return st.lists(rect, max_size=max_rects)
+
+
+probes = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    coords, coords,
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=0, max_value=120),
+)
+
+
+class TestIndexAgreesWithBruteForce:
+    @given(rect_soups(), probes, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=80, deadline=None)
+    def test_query_matches(self, soup, probe, margin):
+        grid = GridIndex(soup)
+        brute = BruteForceIndex(soup)
+        assert grid.query(probe, margin) == brute.query(probe, margin)
+        assert grid.query(probe, margin, strict=True) == \
+            brute.query(probe, margin, strict=True)
+
+    @given(rect_soups(), probes, st.integers(min_value=0, max_value=25))
+    @settings(max_examples=80, deadline=None)
+    def test_neighbors_matches(self, soup, probe, margin):
+        grid = GridIndex(soup)
+        brute = BruteForceIndex(soup)
+        assert grid.neighbors(probe, margin) == brute.neighbors(probe, margin)
+
+    @given(rect_soups())
+    @settings(max_examples=80, deadline=None)
+    def test_connected_components_match(self, soup):
+        grid = GridIndex(soup)
+        brute = BruteForceIndex(soup)
+        assert grid.connected_components() == brute.connected_components()
+
+    @given(rect_soups(max_rects=15), st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=40, deadline=None)
+    def test_huge_margins_terminate_and_match(self, soup, margin):
+        # Regression: margins far beyond the geometry extent must clamp to
+        # the occupied bins, not walk a billion empty grid cells.
+        probe = Rect(0, 0, 4, 4)
+        grid = GridIndex(soup)
+        brute = BruteForceIndex(soup)
+        assert grid.neighbors(probe, margin) == brute.neighbors(probe, margin)
+        assert grid.query(probe, margin) == brute.query(probe, margin)
+
+    @given(rect_soups(max_rects=25), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_cell_size_does_not_change_results(self, soup, cell_size):
+        brute = BruteForceIndex(soup)
+        grid = GridIndex(soup, cell_size=cell_size)
+        assert grid.connected_components() == brute.connected_components()
+        if soup:
+            assert grid.query(soup[0]) == brute.query(soup[0])
+
+
+class TestIndexSemantics:
+    def test_empty_index(self):
+        index = GridIndex([])
+        assert index.query(Rect(0, 0, 5, 5)) == []
+        assert index.neighbors(Rect(0, 0, 5, 5), 10) == []
+        assert index.connected_components() == []
+
+    def test_abutting_rects_touch_and_connect(self):
+        soup = [Rect(0, 0, 10, 10), Rect(10, 0, 20, 10), Rect(40, 0, 50, 10)]
+        index = GridIndex(soup)
+        # Closed overlap: the shared edge counts as touching...
+        assert index.query(Rect(10, 0, 10, 10)) == [0, 1]
+        # ... but not as interior overlap.
+        assert index.query(Rect(9, 1, 11, 9), strict=True) == [0, 1]
+        assert index.query(Rect(10, 0, 10, 10), strict=True) == []
+        assert index.connected_components() == [[0, 1], [2]]
+
+    def test_neighbors_uses_rectilinear_gap(self):
+        soup = [Rect(0, 0, 10, 10), Rect(13, 0, 20, 10), Rect(13, 13, 20, 20)]
+        index = GridIndex(soup)
+        # Straight-across gap of 3 to rect 1; diagonal gap of 3+3 to rect 2.
+        assert index.neighbors(Rect(0, 0, 10, 10), 3) == [0, 1]
+        assert index.neighbors(Rect(0, 0, 10, 10), 6) == [0, 1, 2]
+        assert index.neighbors(Rect(0, 0, 10, 10), 2) == [0]
+
+    def test_components_ordered_by_smallest_member(self):
+        soup = [Rect(100, 0, 110, 10), Rect(0, 0, 10, 10),
+                Rect(105, 5, 115, 15), Rect(5, 5, 8, 8)]
+        expected = [[0, 2], [1, 3]]
+        assert GridIndex(soup).connected_components() == expected
+        assert BruteForceIndex(soup).connected_components() == expected
+
+    def test_build_index_selects_implementation(self):
+        small = [Rect(0, 0, 1, 1)]
+        large = [Rect(i * 3, 0, i * 3 + 1, 1) for i in range(20)]
+        assert isinstance(build_index(small), BruteForceIndex)
+        assert isinstance(build_index(large), GridIndex)
+        assert isinstance(build_index(large, brute_force=True), BruteForceIndex)
