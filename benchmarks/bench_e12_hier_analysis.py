@@ -1,0 +1,141 @@
+"""E12 — hierarchical incremental analysis vs the indexed flat engines.
+
+The paper's core economic argument is that regular blocks are designed once
+and instanced many times; E12 measures whether the *analysis* side finally
+exploits that.  A tile chip instantiates each unique block well over eight
+times; the hierarchical engine (``repro.analysis.hier``) analyzes every
+unique cell once and composes the rest, so it must beat the PR 1
+indexed-flat engines (which re-examine every rectangle of every instance)
+by at least 3x cold — and by orders of magnitude warm and incremental —
+while producing byte-identical violations, netlists and metrics
+(``tests/test_hier_golden.py`` pins the equivalence down to ordering).
+"""
+
+import time
+
+from benchmarks.conftest import emit, record_bench
+from repro.analysis import HierAnalyzer
+from repro.drc import DrcChecker
+from repro.extract.extractor import Extractor
+from repro.generators import PlaGenerator, RomGenerator
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.logic import TruthTable, parse_expr
+from repro.metrics import format_table, measure_cell
+
+ROM_COLUMNS, ROM_ROWS = 8, 5       # 40 instances of the ROM block
+PLA_COLUMNS, PLA_ROWS = 6, 4       # 24 instances of the PLA block
+GAP = 20
+
+
+def build_tile_chip(technology, name="e12_tile_chip"):
+    """A chip made of repeated compiled blocks: 40 ROMs + 24 adder PLAs."""
+    rom = RomGenerator(technology, [i % 256 for i in range(32)],
+                       bits_per_word=8).cell()
+    table = TruthTable.from_expressions(
+        {"s": parse_expr("a ^ b ^ c"),
+         "co": parse_expr("a & b | a & c | b & c")},
+        input_names=["a", "b", "c"])
+    pla = PlaGenerator(technology, table, name="e12_tile_pla").cell()
+
+    chip = Cell(name)
+    for column in range(ROM_COLUMNS):
+        for row in range(ROM_ROWS):
+            chip.place(rom, column * (rom.width + GAP),
+                       row * (rom.height + GAP), name=f"rom_{column}_{row}")
+    base = ROM_ROWS * (rom.height + GAP) + 30
+    for column in range(PLA_COLUMNS):
+        for row in range(PLA_ROWS):
+            chip.place(pla, column * (pla.width + GAP),
+                       base + row * (pla.height + GAP),
+                       name=f"pla_{column}_{row}")
+    width = ROM_COLUMNS * (rom.width + GAP)
+    chip.add_box("metal", 0, -12, width, -9)    # top-level supply rails
+    chip.add_box("metal", 0, -6, width, -3)
+    return chip, rom
+
+
+def netlist_identity(circuit):
+    return (circuit.node_names, circuit.network.transistors,
+            circuit.network.inputs, circuit.network.outputs,
+            circuit.summary())
+
+
+def flat_analysis(chip, technology):
+    violations = DrcChecker(technology).check(chip)
+    circuit = Extractor(technology).extract(chip)
+    return violations, circuit
+
+
+def hier_analysis(chip, analyzer):
+    return analyzer.drc(chip), analyzer.extract(chip)
+
+
+def test_e12_hierarchical_vs_indexed_flat(benchmark, technology):
+    chip, rom = build_tile_chip(technology)
+    shape_count = len(flatten_cell(chip).shapes)
+
+    flat_start = time.perf_counter()
+    flat_violations, flat_circuit = flat_analysis(chip, technology)
+    flat_seconds = time.perf_counter() - flat_start
+
+    # Cold: every per-cell artifact is built from scratch.
+    def cold_run():
+        return hier_analysis(chip, HierAnalyzer(technology))
+
+    hier_violations, hier_circuit = benchmark(cold_run)
+    cold_start = time.perf_counter()
+    cold_violations, cold_circuit = cold_run()
+    cold_seconds = time.perf_counter() - cold_start
+
+    # Identical results, ordering included.
+    assert hier_violations == flat_violations == cold_violations
+    assert (netlist_identity(hier_circuit) == netlist_identity(flat_circuit)
+            == netlist_identity(cold_circuit))
+
+    # Warm: nothing changed, everything is served from the caches.
+    analyzer = HierAnalyzer(technology)
+    hier_analysis(chip, analyzer)
+    assert analyzer.measure(chip) == measure_cell(chip, technology)
+    warm_start = time.perf_counter()
+    hier_analysis(chip, analyzer)
+    warm_seconds = time.perf_counter() - warm_start
+
+    # Incremental: edit one ROM cell; only its artifact chain rebuilds.
+    rom.add_box("metal", 0, rom.height + 4, 3, rom.height + 8)
+    incremental_start = time.perf_counter()
+    incremental = hier_analysis(chip, analyzer)
+    incremental_seconds = time.perf_counter() - incremental_start
+    flat_after = flat_analysis(chip, technology)
+    assert incremental[0] == flat_after[0]
+    assert netlist_identity(incremental[1]) == netlist_identity(flat_after[1])
+
+    speedup = flat_seconds / max(cold_seconds, 1e-9)
+    emit(format_table(
+        ["path", "seconds", "vs flat"],
+        [["indexed flat (PR 1)", f"{flat_seconds:.3f}", "1.0x"],
+         ["hierarchical cold", f"{cold_seconds:.3f}", f"{speedup:.1f}x"],
+         ["hierarchical warm", f"{warm_seconds:.4f}",
+          f"{flat_seconds / max(warm_seconds, 1e-9):.0f}x"],
+         ["hierarchical incremental", f"{incremental_seconds:.3f}",
+          f"{flat_seconds / max(incremental_seconds, 1e-9):.1f}x"]],
+        f"E12: DRC+extract on {shape_count} flat shapes "
+        f"({len(chip.instances)} instances, 2 unique blocks)"))
+
+    # Acceptance floor: the hierarchical engine must be at least 3x faster
+    # cold on a chip with >= 8 instances per unique cell.
+    assert speedup > 3.0
+
+    record_bench(
+        "e12", benchmark,
+        flattened_shapes=shape_count,
+        instances=len(chip.instances),
+        transistors=flat_circuit.transistor_count,
+        drc_violations=len(flat_violations),
+        flat_seconds=round(flat_seconds, 4),
+        hier_cold_seconds=round(cold_seconds, 4),
+        hier_warm_seconds=round(warm_seconds, 5),
+        hier_incremental_seconds=round(incremental_seconds, 4),
+        cold_speedup=round(speedup, 2),
+        warm_speedup=round(flat_seconds / max(warm_seconds, 1e-9), 1),
+    )

@@ -67,21 +67,28 @@ def main() -> None:
     technology = nmos_technology()
     rows = []
     library = Library("chip_family", technology)
+    # One hierarchical analyzer for the whole family: the chips share every
+    # generator's cells, so each unique block is DRC'd and extracted once.
+    from repro.analysis import HierAnalyzer
+
+    analyzer = HierAnalyzer(technology)
     for bits, extra in [(4, 0), (8, 2), (16, 4)]:
         name = f"family_{bits}b"
         assembler, chip = build_chip(name, bits, extra)
         library.add_cell(chip)
         report = assembler.report
+        sign_off = assembler.sign_off(analyzer)
         rows.append([
             name, bits, assembler.description_size(), report.pad_count,
             report.core_width * report.core_height, report.chip_area,
             f"{report.core_utilisation:.2f}", f"{report.pad_overhead:.2f}",
+            len(sign_off.violations), sign_off.circuit.transistor_count,
         ])
     print(format_table(
         ["chip", "bits", "description size", "pads", "core area", "chip area",
-         "utilisation", "pad overhead"],
+         "utilisation", "pad overhead", "DRC", "transistors"],
         rows,
-        "One assembly program, three chips",
+        "One assembly program, three chips (signed off hierarchically)",
     ))
 
     cif_text = write_cif(library, path="chip_family.cif")

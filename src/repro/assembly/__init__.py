@@ -12,7 +12,7 @@ from repro.assembly.river import river_route, RiverRoutingError
 from repro.assembly.channel import ChannelRouter, ChannelNet, ChannelResult
 from repro.assembly.floorplan import Floorplan, FloorplanItem, pack_shelves
 from repro.assembly.padframe import PadRing, PadSpec
-from repro.assembly.chip import ChipAssembler, ChipReport
+from repro.assembly.chip import ChipAssembler, ChipReport, SignOffReport
 
 __all__ = [
     "river_route",
@@ -26,5 +26,6 @@ __all__ = [
     "PadRing",
     "PadSpec",
     "ChipAssembler",
+    "SignOffReport",
     "ChipReport",
 ]

@@ -21,6 +21,19 @@ from repro.technology.technology import Technology
 
 
 @dataclass
+class SignOffReport:
+    """The full physical verification result of an assembled chip."""
+
+    violations: List = field(default_factory=list)
+    circuit: Optional[object] = None
+    metrics: Optional[object] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+@dataclass
 class ChipReport:
     """Area and connectivity accounting for an assembled chip."""
 
@@ -60,6 +73,7 @@ class ChipAssembler:
         self._pads: List[PadSpec] = []
         self._connections: List[Tuple[str, Tuple[str, str]]] = []
         self.report: Optional[ChipReport] = None
+        self._chip: Optional[Cell] = None
 
     # -- the parameterised description --------------------------------------------------
 
@@ -135,7 +149,38 @@ class ChipAssembler:
             total_route_length=total_length,
             core_utilisation=floorplan.utilisation,
         )
+        self._chip = chip
         return chip
+
+    def sign_off(self, analyzer=None) -> SignOffReport:
+        """Run full physical verification on the assembled chip.
+
+        DRC, extraction and metrics run on the hierarchical analysis engine
+        (:class:`repro.analysis.HierAnalyzer`), so repeated blocks — the
+        whole point of parameterised assembly — are analyzed once and
+        composed.  Pass a shared ``analyzer`` to reuse its per-cell caches
+        across the chips of a family (they typically share every block
+        generator's cells); results are identical to the flat engines.
+        """
+        if self._chip is None:
+            raise ValueError("assemble() must run before sign_off()")
+        if analyzer is None:
+            from repro.analysis import HierAnalyzer
+
+            analyzer = HierAnalyzer(self.technology)
+        elif (analyzer.technology.name != self.technology.name
+              or analyzer.technology.lambda_nm != self.technology.lambda_nm):
+            raise ValueError(
+                "analyzer technology does not match the assembler's: "
+                f"{analyzer.technology.name!r} (lambda "
+                f"{analyzer.technology.lambda_nm}) vs "
+                f"{self.technology.name!r} (lambda {self.technology.lambda_nm})"
+            )
+        return SignOffReport(
+            violations=analyzer.drc(self._chip),
+            circuit=analyzer.extract(self._chip),
+            metrics=analyzer.measure(self._chip),
+        )
 
     def description_size(self) -> int:
         """Size of the assembly description: blocks + pads + connections.

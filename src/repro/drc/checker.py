@@ -52,6 +52,60 @@ class DrcViolation:
         )
 
 
+# -- per-element verdicts -----------------------------------------------------
+#
+# Each check reduces to a verdict on one element (a merged rectangle, an
+# unordered pair, an inner rectangle with its outer neighbourhood).  The flat
+# checker below and the hierarchical engine both call these, so the two paths
+# cannot drift apart.
+
+
+def width_violation(rule: DesignRule, rect: Rect) -> Optional[DrcViolation]:
+    narrow = min(rect.width, rect.height)
+    if narrow < rule.value:
+        return DrcViolation(rule.label, rule.kind, rule.layers, rule.value, narrow, rect)
+    return None
+
+
+def spacing_violation(rule: DesignRule, rect_a: Rect, rect_b: Rect) -> Optional[DrcViolation]:
+    if rect_a.touches(rect_b):
+        return None   # touching shapes are connected, not spaced
+    gap = rect_a.distance_to(rect_b)
+    if gap < rule.value:
+        return DrcViolation(
+            rule.label, rule.kind, rule.layers, rule.value, gap, rect_a.union(rect_b)
+        )
+    return None
+
+
+def enclosure_violation(rule: DesignRule, inner: Rect,
+                        nearby_outer: Sequence[Rect],
+                        triggered: bool) -> Optional[DrcViolation]:
+    """Verdict for one inner rectangle.
+
+    ``nearby_outer`` must contain every outer-layer rectangle touching the
+    inner rectangle grown by the rule value; ``triggered`` is whether any
+    outer rectangle shares interior area with the inner one (the conditional
+    part of the rule).
+    """
+    if not triggered:
+        return None
+    required = inner.expanded(rule.value)
+    if any(out.contains_rect(required) for out in nearby_outer):
+        return None
+    if _covered_by(required, nearby_outer):
+        return None
+    actual = _best_enclosure(inner, nearby_outer)
+    return DrcViolation(rule.label, rule.kind, rule.layers, rule.value, actual, inner)
+
+
+def exact_size_violation(rule: DesignRule, rect: Rect) -> Optional[DrcViolation]:
+    narrow = min(rect.width, rect.height)
+    if narrow != rule.value:
+        return DrcViolation(rule.label, rule.kind, rule.layers, rule.value, narrow, rect)
+    return None
+
+
 class DrcChecker:
     """Checks a cell hierarchy against a technology's rule set."""
 
@@ -122,11 +176,9 @@ class DrcChecker:
     def _check_width(self, rule: DesignRule, rects: List[Rect]) -> List[DrcViolation]:
         violations = []
         for rect in rects:
-            narrow = min(rect.width, rect.height)
-            if narrow < rule.value:
-                violations.append(DrcViolation(
-                    rule.label, rule.kind, rule.layers, rule.value, narrow, rect
-                ))
+            violation = width_violation(rule, rect)
+            if violation is not None:
+                violations.append(violation)
         return violations
 
     def _check_spacing(self, rule: DesignRule, rects_a: List[Rect],
@@ -140,15 +192,9 @@ class DrcChecker:
             for candidate in index_b.neighbors(rect_a, reach):
                 if same_layer and candidate <= index_a:
                     continue   # each unordered pair once, as in the pair scan
-                rect_b = rects_b[candidate]
-                if rect_a.touches(rect_b):
-                    continue   # touching shapes are connected, not spaced
-                gap = rect_a.distance_to(rect_b)
-                if gap < rule.value:
-                    violations.append(DrcViolation(
-                        rule.label, rule.kind, rule.layers, rule.value, gap,
-                        rect_a.union(rect_b),
-                    ))
+                violation = spacing_violation(rule, rect_a, rects_b[candidate])
+                if violation is not None:
+                    violations.append(violation)
         return violations
 
     def _check_enclosure(self, rule: DesignRule, outer: List[Rect],
@@ -159,30 +205,24 @@ class DrcChecker:
             # Conditional rule: enclosure is only required where the two
             # layers actually interact (e.g. implant around *depletion*
             # gates, poly around *poly* contacts).
-            if not any(outer[i].overlaps(rect, strict=True)
-                       for i in outer_index.query(rect, strict=True)):
+            triggered = any(outer[i].overlaps(rect, strict=True)
+                            for i in outer_index.query(rect, strict=True))
+            if not triggered:
                 continue
-            required = rect.expanded(rule.value)
             # Rectangles not touching the grown region can neither contain
             # nor help cover it, so the check runs on the neighbourhood only.
-            nearby = [outer[i] for i in outer_index.query(required)]
-            if not any(out.contains_rect(required) for out in nearby):
-                # Allow enclosure to be met by a union of outer rectangles.
-                if not _covered_by(required, nearby):
-                    actual = _best_enclosure(rect, nearby)
-                    violations.append(DrcViolation(
-                        rule.label, rule.kind, rule.layers, rule.value, actual, rect
-                    ))
+            nearby = [outer[i] for i in outer_index.query(rect.expanded(rule.value))]
+            violation = enclosure_violation(rule, rect, nearby, triggered)
+            if violation is not None:
+                violations.append(violation)
         return violations
 
     def _check_exact_size(self, rule: DesignRule, rects: List[Rect]) -> List[DrcViolation]:
         violations = []
         for rect in rects:
-            if min(rect.width, rect.height) != rule.value:
-                violations.append(DrcViolation(
-                    rule.label, rule.kind, rule.layers, rule.value,
-                    min(rect.width, rect.height), rect
-                ))
+            violation = exact_size_violation(rule, rect)
+            if violation is not None:
+                violations.append(violation)
         return violations
 
 

@@ -105,12 +105,8 @@ class Extractor:
         buried_index = build_index(buried, brute_force=brute)
         channels: List[Rect] = []
         for poly_rect in poly:
-            for diff_id in diffusion_index.query(poly_rect, strict=True):
-                overlap = poly_rect.intersection(diffusion[diff_id])
-                if overlap is None or overlap.is_degenerate:
-                    continue
-                if any(buried[i].contains_rect(overlap)
-                       for i in buried_index.query(overlap)):
+            for _, overlap in diffusion_crossings(poly_rect, diffusion, diffusion_index):
+                if buried_covers(overlap, buried, buried_index):
                     continue
                 channels.append(overlap)
         channels = _dedupe(channels)
@@ -119,14 +115,8 @@ class Extractor:
         channel_index = build_index(channels, brute_force=brute)
         diffusion_pieces: List[Rect] = []
         for diff_rect in diffusion:
-            pieces = [diff_rect]
-            for channel_id in channel_index.query(diff_rect, strict=True):
-                channel = channels[channel_id]
-                next_pieces: List[Rect] = []
-                for piece in pieces:
-                    next_pieces.extend(piece.subtract(channel))
-                pieces = next_pieces
-            diffusion_pieces.extend(pieces)
+            crossing = [channels[i] for i in channel_index.query(diff_rect, strict=True)]
+            diffusion_pieces.extend(split_by_channels(diff_rect, crossing))
 
         # 3. Build electrical nodes over diffusion pieces, poly and metal.
         builder = _NodeBuilder()
@@ -164,37 +154,13 @@ class Extractor:
         # historical per-group label scan implemented.
         first_hit: Dict[int, str] = {}
         supply_hit: Dict[int, str] = {}
+        item_layers = [item[0] for item in builder.items]
         for label in flat.labels:
-            text, position, layer = label.text, label.position, label.layer
-            lowered = text.lower()
-            is_supply = lowered in ("vdd", "gnd")
-            probe = Rect(position.x, position.y, position.x, position.y)
-            for item_id in conducting_index.query(probe):
-                member_layer = builder.items[item_id][0]
-                if layer and layer != member_layer and not (
-                    layer in self._diffusion_layers and member_layer == "diffusion"
-                ):
-                    continue
-                root = builder.find(item_id)
-                if is_supply:
-                    supply_hit.setdefault(root, lowered)
-                else:
-                    first_hit.setdefault(root, text)
-        node_of_item: Dict[int, str] = {}
-        names: Dict[int, str] = {}
-        counter = 0
+            hits = label_item_hits(label, conducting_index, item_layers,
+                                   self._diffusion_layers)
+            apply_label(label, hits, builder.find, supply_hit, first_hit)
         groups = builder.groups()
-        for root, members in groups.items():
-            name = supply_hit.get(root)
-            if name is None:
-                name = first_hit.get(root)
-            if name is None:
-                name = f"n{counter}"
-                counter += 1
-            names[root] = name
-        for root, members in groups.items():
-            for member in members:
-                node_of_item[member] = names[root]
+        names, node_of_item = resolve_node_names(groups, supply_hit, first_hit)
 
         # 5. Emit transistors.  Terminal lookups run on per-layer indexes
         # whose ids map back to builder ids by a constant offset.
@@ -204,52 +170,22 @@ class Extractor:
         network = SwitchNetwork(cell.name)
         enhancement = depletion = 0
         for index, channel in enumerate(channels):
-            gate_node = _node_containing(
-                poly, poly_index, len(diff_ids), node_of_item, channel)
-            terminals = _adjacent_nodes(
-                diffusion_pieces, diff_piece_index, node_of_item, channel)
-            if gate_node is None or not terminals:
-                continue
-            source = terminals[0]
-            drain = terminals[1] if len(terminals) > 1 else terminals[0]
+            gate_id = gate_item(poly, poly_index, channel)
+            gate_node = None if gate_id is None else node_of_item[len(diff_ids) + gate_id]
+            terminals = dedupe_nodes(
+                adjacent_piece_ids(diffusion_pieces, diff_piece_index, channel),
+                node_of_item)
             is_depletion = any(implant[i].contains_rect(channel)
                                for i in implant_index.query(channel))
-            kind = TransistorKind.DEPLETION if is_depletion else TransistorKind.ENHANCEMENT
-            if is_depletion:
-                depletion += 1
-            else:
-                enhancement += 1
-            network.add_transistor(
-                gate_node, source, drain, kind,
-                width=max(2, min(channel.width, channel.height)),
-                length=max(2, min(channel.width, channel.height)),
-                name=f"m{index}",
-            )
+            device = emit_transistor(network, index, channel, gate_node,
+                                     terminals, is_depletion)
+            if device is not None:
+                if is_depletion:
+                    depletion += 1
+                else:
+                    enhancement += 1
 
-        # Declare ports: use the top cell's declared port directions where
-        # available (an input is clamped during simulation, an output is
-        # observed); labels without a declared direction become observable
-        # nodes only.
-        named_nodes = set(names.values())
-        declared = cell.ports
-        for port_name, port in declared.items():
-            if port_name not in named_nodes or port_name.lower() in ("vdd", "gnd"):
-                continue
-            if port.direction == "input":
-                network.add_input(port_name)
-            elif port.direction == "output":
-                network.add_output(port_name)
-            elif port.direction == "supply":
-                continue
-            else:
-                network.add_input(port_name)
-                network.add_output(port_name)
-        for label in flat.labels:
-            name = label.text
-            if name.lower() in ("vdd", "gnd") or name in declared:
-                continue
-            if name in named_nodes and name not in network.outputs:
-                network.add_output(name)
+        declare_ports(network, cell.ports, set(names.values()), flat.labels)
 
         circuit = ExtractedCircuit(
             cell_name=cell.name,
@@ -265,6 +201,169 @@ class Extractor:
 def extract_cell(cell: Cell, technology: Technology) -> ExtractedCircuit:
     """Convenience wrapper: extract one cell."""
     return Extractor(technology).extract(cell)
+
+
+# -- shared stages ------------------------------------------------------------------------
+#
+# The extraction pipeline is decomposed into per-element stage functions so
+# the flat extractor above and the hierarchical engine
+# (:mod:`repro.analysis.hier`) run exactly the same geometry-to-netlist
+# semantics; the hierarchical engine merely caches and replays the results
+# per unique cell.
+
+
+def diffusion_crossings(poly_rect: Rect, diffusion: Sequence[Rect],
+                        diffusion_index: SpatialIndex) -> List[Tuple[int, Rect]]:
+    """Non-degenerate poly x diffusion overlaps, ascending by diffusion id."""
+    crossings: List[Tuple[int, Rect]] = []
+    for diff_id in diffusion_index.query(poly_rect, strict=True):
+        overlap = poly_rect.intersection(diffusion[diff_id])
+        if overlap is None or overlap.is_degenerate:
+            continue
+        crossings.append((diff_id, overlap))
+    return crossings
+
+
+def buried_covers(overlap: Rect, buried: Sequence[Rect],
+                  buried_index: SpatialIndex) -> bool:
+    """True if a buried contact covers the crossing (ohmic, not a channel)."""
+    return any(buried[i].contains_rect(overlap)
+               for i in buried_index.query(overlap))
+
+
+def split_by_channels(diff_rect: Rect, channels: Sequence[Rect]) -> List[Rect]:
+    """Split one diffusion rectangle by its crossing channels, in order."""
+    pieces = [diff_rect]
+    for channel in channels:
+        next_pieces: List[Rect] = []
+        for piece in pieces:
+            next_pieces.extend(piece.subtract(channel))
+        pieces = next_pieces
+    return pieces
+
+
+def gate_item(poly: Sequence[Rect], poly_index: SpatialIndex,
+              region: Rect) -> Optional[int]:
+    """Id of the first poly rectangle (ascending) overlapping the channel."""
+    for local_id in poly_index.query(region):
+        rect = poly[local_id]
+        if rect.contains_rect(region) or rect.overlaps(region, strict=True):
+            return local_id
+    return None
+
+
+def adjacent_piece_ids(pieces: Sequence[Rect], piece_index: SpatialIndex,
+                       channel: Rect) -> List[int]:
+    """Ids of diffusion pieces abutting (not overlapping) the channel."""
+    return [local_id for local_id in piece_index.query(channel)
+            if not pieces[local_id].overlaps(channel, strict=True)]
+
+
+def dedupe_nodes(item_ids: Sequence[int], node_of_item: Dict[int, str]) -> List[str]:
+    """Map item ids to node names, keeping the first occurrence of each."""
+    found: List[str] = []
+    for item_id in item_ids:
+        node = node_of_item[item_id]
+        if node not in found:
+            found.append(node)
+    return found
+
+
+def label_item_hits(label, conducting_index: SpatialIndex,
+                    item_layers: Sequence[str],
+                    diffusion_layers: Sequence[str]) -> List[int]:
+    """Conducting items a label lands on, after the layer filter."""
+    position, layer = label.position, label.layer
+    probe = Rect(position.x, position.y, position.x, position.y)
+    hits: List[int] = []
+    for item_id in conducting_index.query(probe):
+        member_layer = item_layers[item_id]
+        if layer and layer != member_layer and not (
+            layer in diffusion_layers and member_layer == "diffusion"
+        ):
+            continue
+        hits.append(item_id)
+    return hits
+
+
+def apply_label(label, hit_item_ids: Sequence[int], find,
+                supply_hit: Dict[int, str], first_hit: Dict[int, str]) -> None:
+    """Fold one label into the naming precedence maps.
+
+    A group takes the first non-supply label that hits it, except that the
+    first supply label (vdd/gnd) always wins.
+    """
+    lowered = label.text.lower()
+    is_supply = lowered in ("vdd", "gnd")
+    for item_id in hit_item_ids:
+        root = find(item_id)
+        if is_supply:
+            supply_hit.setdefault(root, lowered)
+        else:
+            first_hit.setdefault(root, label.text)
+
+
+def resolve_node_names(groups: Dict[int, List[int]],
+                       supply_hit: Dict[int, str],
+                       first_hit: Dict[int, str]) -> Tuple[Dict[int, str], Dict[int, str]]:
+    """Assign every group its name (label-derived or a fresh ``n<k>``)."""
+    names: Dict[int, str] = {}
+    counter = 0
+    for root in groups:
+        name = supply_hit.get(root)
+        if name is None:
+            name = first_hit.get(root)
+        if name is None:
+            name = f"n{counter}"
+            counter += 1
+        names[root] = name
+    node_of_item: Dict[int, str] = {}
+    for root, members in groups.items():
+        for member in members:
+            node_of_item[member] = names[root]
+    return names, node_of_item
+
+
+def emit_transistor(network: SwitchNetwork, index: int, channel: Rect,
+                    gate_node: Optional[str], terminals: Sequence[str],
+                    is_depletion: bool) -> Optional[Transistor]:
+    """Emit one device, or nothing if the channel has no gate or terminals."""
+    if gate_node is None or not terminals:
+        return None
+    source = terminals[0]
+    drain = terminals[1] if len(terminals) > 1 else terminals[0]
+    kind = TransistorKind.DEPLETION if is_depletion else TransistorKind.ENHANCEMENT
+    size = max(2, min(channel.width, channel.height))
+    return network.add_transistor(gate_node, source, drain, kind,
+                                  width=size, length=size, name=f"m{index}")
+
+
+def declare_ports(network: SwitchNetwork, declared: Dict[str, object],
+                  named_nodes: Set[str], labels: Sequence[object]) -> None:
+    """Declare inputs/outputs from the top cell's ports and labels.
+
+    Declared port directions win (an input is clamped during simulation, an
+    output is observed); labels without a declared direction become
+    observable nodes only.
+    """
+    for port_name, port in declared.items():
+        if port_name not in named_nodes or port_name.lower() in ("vdd", "gnd"):
+            continue
+        if port.direction == "input":
+            network.add_input(port_name)
+        elif port.direction == "output":
+            network.add_output(port_name)
+        elif port.direction == "supply":
+            continue
+        else:
+            network.add_input(port_name)
+            network.add_output(port_name)
+    for label in labels:
+        name = label.text
+        if name.lower() in ("vdd", "gnd") or name in declared:
+            continue
+        if name in named_nodes and name not in network.outputs:
+            network.add_output(name)
 
 
 # -- helpers ------------------------------------------------------------------------------
@@ -286,26 +385,3 @@ def _connect_same_layer(builder: _NodeBuilder, ids: List[int],
     for component in build_index(layer_rects, brute_force=brute_force).connected_components():
         for first, second in zip(component, component[1:]):
             builder.union(ids[first], ids[second])
-
-
-def _node_containing(poly: Sequence[Rect], poly_index: SpatialIndex,
-                     id_offset: int, node_of_item: Dict[int, str],
-                     region: Rect) -> Optional[str]:
-    for local_id in poly_index.query(region):
-        rect = poly[local_id]
-        if rect.contains_rect(region) or rect.overlaps(region, strict=True):
-            return node_of_item[id_offset + local_id]
-    return None
-
-
-def _adjacent_nodes(pieces: Sequence[Rect], piece_index: SpatialIndex,
-                    node_of_item: Dict[int, str], channel: Rect) -> List[str]:
-    """Diffusion nodes that abut the channel region (source and drain)."""
-    found: List[str] = []
-    for local_id in piece_index.query(channel):
-        rect = pieces[local_id]
-        if not rect.overlaps(channel, strict=True):
-            node = node_of_item[local_id]
-            if node not in found:
-                found.append(node)
-    return found

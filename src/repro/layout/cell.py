@@ -8,6 +8,7 @@ are rejected when instances are added.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -76,18 +77,51 @@ class Cell:
         self.labels: List[Label] = []
         self.instances: List[CellInstance] = []
         self._ports: Dict[str, Port] = {}
-        # Mutation counter: bumped on every geometry/label/instance change so
-        # that cached flat views (repro.layout.flatten) can detect staleness.
+        # Mutation counter: bumped on every geometry/label/instance change of
+        # this cell *or any cell below it*, so that cached flat views
+        # (repro.layout.flatten) and the hierarchical analysis caches
+        # (repro.analysis.hier) can key on a single integer per cell.
         self._version = 0
         self._flat_cache = None
+        # Weak back-references to the cells that instantiate this one, used to
+        # propagate mutations upward (transitive invalidation).
+        self._parents: Dict[int, "weakref.ref[Cell]"] = {}
 
     # -- construction -------------------------------------------------------
 
     def _mutated(self) -> None:
-        """Record a mutation: invalidates any cached flat view of this cell
-        (and, transitively, of every cell instantiating it)."""
-        self._version += 1
-        self._flat_cache = None
+        """Record a mutation: invalidates any cached flat view and analysis
+        cache of this cell and, transitively, of every ancestor cell.
+
+        Each affected cell's version is bumped exactly once per mutation,
+        even through diamond-shaped instance DAGs.
+        """
+        seen = {id(self)}
+        stack: List[Cell] = [self]
+        while stack:
+            cell = stack.pop()
+            cell._version += 1
+            cell._flat_cache = None
+            dead: List[int] = []
+            for key, ref in cell._parents.items():
+                parent = ref()
+                if parent is None:
+                    dead.append(key)
+                elif id(parent) not in seen:
+                    seen.add(id(parent))
+                    stack.append(parent)
+            for key in dead:
+                del cell._parents[key]
+
+    @property
+    def subtree_version(self) -> int:
+        """A value identifying the current state of this cell's whole subtree.
+
+        Any mutation of this cell or of any cell reachable through its
+        instances changes this number; caches (flat views, hierarchical
+        analysis results) key on it.
+        """
+        return self._version
 
     def add_shape(self, shape: Shape) -> Shape:
         self.shapes.append(shape)
@@ -129,6 +163,7 @@ class Cell:
             )
         instance = CellInstance(cell, transform or Transform.identity(), name)
         self.instances.append(instance)
+        cell._parents[id(self)] = weakref.ref(self)
         self._mutated()
         return instance
 

@@ -57,25 +57,13 @@ def _flatten_into(flat: "FlatLayout", cell: Cell, transform: Transform,
 # -- memoized flat views ------------------------------------------------------
 
 
-def _subtree_token(cell: Cell, memo: Dict[int, Tuple]) -> Tuple:
-    """A value identifying the current state of ``cell``'s whole subtree.
-
-    Composed of the cell's own mutation counter and the tokens of its
-    children, so any mutation anywhere below changes the token.  ``memo``
-    deduplicates shared cells within one computation (the hierarchy is a
-    DAG, not a tree).
-    """
-    token = memo.get(id(cell))
-    if token is None:
-        token = (cell._version,
-                 tuple(_subtree_token(inst.cell, memo) for inst in cell.instances))
-        memo[id(cell)] = token
-    return token
-
-
 def _flat_view(cell: Cell, memo: Dict[int, Tuple]) -> "FlatLayout":
-    """The cached flat view of ``cell``, rebuilt if any subtree cell mutated."""
-    token = _subtree_token(cell, memo)
+    """The cached flat view of ``cell``, rebuilt if any subtree cell mutated.
+
+    The cache key is the cell's :attr:`~repro.layout.cell.Cell.subtree_version`
+    counter, which mutation propagation keeps in sync with the whole subtree.
+    """
+    token = cell._version
     cached = cell._flat_cache
     if cached is not None and cached[0] == token:
         return cached[1]

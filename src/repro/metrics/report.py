@@ -52,13 +52,33 @@ class DesignMetrics:
                 "density", "regularity", "depth"]
 
 
-def measure_cell(cell: Cell, technology: Technology) -> DesignMetrics:
-    """Compute the standard metrics for a cell."""
+def measure_cell(cell: Cell, technology: Technology,
+                 analyzer=None) -> DesignMetrics:
+    """Compute the standard metrics for a cell.
+
+    Pass a :class:`repro.analysis.HierAnalyzer` as ``analyzer`` to compute
+    the same numbers from per-cell cached statistics instead of a full
+    flatten — identical results, hierarchy-leveraged cost.
+    """
+    if analyzer is not None:
+        return analyzer.measure(cell)
     stats = cell_statistics(cell)
+    return metrics_from_stats(stats, technology,
+                              wire_length=wire_length_estimate(cell))
+
+
+def metrics_from_stats(stats, technology: Technology,
+                       wire_length: int = 0) -> DesignMetrics:
+    """Build :class:`DesignMetrics` from already-computed cell statistics.
+
+    Shared by the flat path above and the hierarchical analyzer
+    (:mod:`repro.analysis.hier`), so both derive every reported number with
+    exactly the same arithmetic.
+    """
     lambda_mm = technology.lambda_nm / 1e6
     area_mm2 = stats.bbox_area * lambda_mm * lambda_mm
     return DesignMetrics(
-        name=cell.name,
+        name=stats.name,
         width_lambda=stats.bbox_width,
         height_lambda=stats.bbox_height,
         area_sq_lambda=stats.bbox_area,
@@ -68,7 +88,7 @@ def measure_cell(cell: Cell, technology: Technology) -> DesignMetrics:
         regularity=stats.regularity,
         hierarchy_depth=stats.hierarchy_depth,
         distinct_cells=stats.distinct_cell_count,
-        wire_length_lambda=wire_length_estimate(cell),
+        wire_length_lambda=wire_length,
     )
 
 

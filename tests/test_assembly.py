@@ -213,3 +213,48 @@ class TestChipAssembler:
         assembler.add_pad("x", "input", connect_to=("core", "nope"))
         with pytest.raises(KeyError):
             assembler.assemble()
+
+
+class TestSignOff:
+    def test_sign_off_runs_hier_analysis(self):
+        from repro.analysis import HierAnalyzer
+        from repro.drc import DrcChecker
+        from repro.extract.extractor import Extractor
+
+        assembler = TestChipAssembler().build_chip()
+        chip = assembler.assemble()
+        report = assembler.sign_off()
+        assert report.violations == DrcChecker(NMOS).check(chip)
+        flat = Extractor(NMOS).extract(chip)
+        assert report.circuit.transistor_count == flat.transistor_count
+        assert report.circuit.node_names == flat.node_names
+        assert report.metrics.name == chip.name
+        assert report.clean == (not report.violations)
+
+    def test_sign_off_requires_assemble(self):
+        import pytest
+
+        assembler = TestChipAssembler().build_chip()
+        with pytest.raises(ValueError):
+            assembler.sign_off()
+
+    def test_sign_off_shares_analyzer_across_family(self):
+        from repro.analysis import HierAnalyzer
+
+        # Force full composition (no direct-build collapse) so per-cell
+        # artifact reuse across the two chips is observable.
+        analyzer = HierAnalyzer(NMOS, direct_threshold=0)
+        helper = TestChipAssembler()
+        first = helper.build_chip(bits=4)
+        first.assemble()
+        first.sign_off(analyzer)
+        built = analyzer.stats["drc_artifacts"]
+        hits = analyzer.stats["drc_hits"]
+        second = helper.build_chip(bits=4)
+        second.assemble()
+        report = second.sign_off(analyzer)
+        # The second chip rebuilds its cells, so new artifacts appear, but
+        # the analyzer keeps serving repeated instances from its caches.
+        assert analyzer.stats["drc_artifacts"] > built
+        assert analyzer.stats["drc_hits"] > hits
+        assert report.violations == second.sign_off(analyzer).violations

@@ -1,0 +1,99 @@
+"""CIF round-trip fuzzing: write → parse → write is a fixpoint.
+
+CIF is the manufacturing interface; anything the compiler can build must
+survive serialisation exactly.  These tests generate randomized cell DAGs
+with deep hierarchy and all eight placement orientations, then assert
+
+* the second write of the parsed library reproduces the first text byte
+  for byte (a fixpoint, so repeated round trips cannot drift), and
+* the re-parsed layout is *physically* identical: the design-rule checker
+  reports the same violations, in the same order, on the original and the
+  re-parsed hierarchy.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cif import parse_cif, write_cif
+from repro.drc import DrcChecker
+from repro.geometry.point import Point
+from repro.geometry.transform import Orientation
+from repro.layout import Library
+from repro.layout.cell import Cell
+from repro.technology import nmos_technology
+
+LAYERS = ("diffusion", "poly", "metal", "contact", "implant", "buried")
+
+coords = st.integers(min_value=-10, max_value=10)
+sizes = st.integers(min_value=1, max_value=8)
+boxes = st.tuples(st.sampled_from(LAYERS), coords, coords, sizes, sizes)
+wire_steps = st.lists(st.tuples(st.booleans(),
+                                st.integers(min_value=-6, max_value=6)),
+                      min_size=1, max_size=3)
+labels = st.tuples(st.sampled_from(("a", "b", "clk", "vdd", "gnd")),
+                   coords, coords)
+placements = st.tuples(st.integers(min_value=0, max_value=7),
+                       st.sampled_from(list(Orientation)), coords, coords)
+
+
+@st.composite
+def libraries(draw):
+    """A library whose top cell reaches 3-4 hierarchy levels."""
+    technology = nmos_technology()
+    cells = []
+    for level in range(draw(st.integers(min_value=2, max_value=3))):
+        for index in range(2):
+            cell = Cell(f"fz_l{level}_{index}")
+            for layer, x, y, w, h in draw(st.lists(boxes, min_size=1,
+                                                   max_size=4)):
+                cell.add_box(layer, x, y, x + w, y + h)
+            for start, steps in draw(st.lists(
+                    st.tuples(st.tuples(coords, coords), wire_steps),
+                    max_size=1)):
+                points = [Point(*start)]
+                for horizontal, delta in steps:
+                    last = points[-1]
+                    points.append(Point(last.x + delta, last.y) if horizontal
+                                  else Point(last.x, last.y + delta))
+                try:
+                    cell.add_wire("metal", points, 2)
+                except ValueError:
+                    pass  # degenerate wire (all steps were zero)
+            for text, x, y in draw(st.lists(labels, max_size=2)):
+                cell.add_label(text, Point(x, y), "metal")
+            if cells and level > 0:
+                for which, orientation, x, y in draw(
+                        st.lists(placements, min_size=1, max_size=3)):
+                    cell.place(cells[which % len(cells)], x, y, orientation)
+            cells.append(cell)
+    top = Cell("fz_top")
+    for which, orientation, x, y in draw(st.lists(placements, min_size=2,
+                                                  max_size=4)):
+        top.place(cells[which % len(cells)], x, y, orientation)
+    cells.append(top)
+    library = Library("fuzz", technology)
+    for cell in cells:
+        library.add_cell(cell)
+    return library
+
+
+class TestCifRoundTripFuzz:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(library=libraries())
+    def test_write_parse_write_is_fixpoint(self, library):
+        first = write_cif(library)
+        reparsed = parse_cif(first, library_name=library.name)
+        assert write_cif(reparsed) == first
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(library=libraries())
+    def test_reparsed_layout_has_identical_drc(self, library):
+        technology = nmos_technology()
+        reparsed = parse_cif(write_cif(library), library_name=library.name)
+        checker = DrcChecker(technology)
+        original = checker.check(library.cell("fz_top"))
+        round_tripped = checker.check(reparsed.cell("fz_top"))
+        assert round_tripped == original

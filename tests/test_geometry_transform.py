@@ -1,9 +1,26 @@
 """Tests for orthogonal transforms (the CIF call transform group)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geometry.point import Point
+from repro.geometry.rect import Rect
 from repro.geometry.transform import Orientation, Transform
+
+coordinates = st.integers(min_value=-1000, max_value=1000)
+points = st.builds(Point, coordinates, coordinates)
+orientations = st.sampled_from(list(Orientation))
+transforms = st.builds(Transform, orientations, points)
+
+
+def rects(draw_x, draw_y, draw_w, draw_h):
+    return Rect(draw_x, draw_y, draw_x + draw_w, draw_y + draw_h)
+
+
+rect_values = st.builds(rects, coordinates, coordinates,
+                        st.integers(min_value=0, max_value=100),
+                        st.integers(min_value=0, max_value=100))
 
 
 class TestOrientation:
@@ -88,3 +105,84 @@ class TestTransform:
         # Place a cell mirrored in x then shifted; check a known corner.
         t = Transform(Orientation.MX, Point(20, 5))
         assert t.apply(Point(3, 2)) == Point(17, 7)
+
+
+class TestTransformProperties:
+    """Property tests over the full D4 + translation group.
+
+    The hierarchical analysis engine keys its artifact caches on
+    orientations and composes placements by ``then``/``inverse``, so these
+    group laws are exactly what keeps its composition sound.
+    """
+
+    @given(transform=transforms, p=points)
+    def test_inverse_roundtrips_points(self, transform, p):
+        assert transform.inverse().apply(transform.apply(p)) == p
+        assert transform.apply(transform.inverse().apply(p)) == p
+
+    @given(transform=transforms)
+    def test_compose_with_inverse_is_identity(self, transform):
+        assert transform.then(transform.inverse()).is_identity
+        assert transform.inverse().then(transform).is_identity
+
+    @given(first=transforms, second=transforms, p=points)
+    def test_then_matches_sequential_application(self, first, second, p):
+        assert first.then(second).apply(p) == second.apply(first.apply(p))
+
+    @given(first=transforms, second=transforms, third=transforms, p=points)
+    def test_composition_is_associative(self, first, second, third, p):
+        left = first.then(second).then(third)
+        right = first.then(second.then(third))
+        assert left.apply(p) == right.apply(p)
+        assert left == right
+
+    @given(orientation=orientations)
+    def test_inverse_of_inverse(self, orientation):
+        assert orientation.inverse().inverse() is orientation
+
+    @given(transform=transforms, rect=rect_values)
+    def test_rect_transform_matches_corner_transform(self, transform, rect):
+        # The transformed rectangle is exactly the bounding box of the
+        # transformed corners — no rounding, no growth.
+        transformed = rect.transformed(transform)
+        corners = [transform.apply(c) for c in rect.corners()]
+        xs = [c.x for c in corners]
+        ys = [c.y for c in corners]
+        assert transformed == Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @given(transform=transforms, rect=rect_values)
+    def test_rect_orientation_preserved(self, transform, rect):
+        """Width/height swap exactly when the orientation swaps axes; area,
+        degeneracy and the narrow side (what DRC width rules measure) are
+        invariant under all 8 orientations."""
+        transformed = rect.transformed(transform)
+        if transform.orientation.swaps_axes:
+            assert (transformed.width, transformed.height) == (rect.height, rect.width)
+        else:
+            assert (transformed.width, transformed.height) == (rect.width, rect.height)
+        assert transformed.area == rect.area
+        assert transformed.is_degenerate == rect.is_degenerate
+        assert (min(transformed.width, transformed.height)
+                == min(rect.width, rect.height))
+
+    @given(transform=transforms, a=rect_values, b=rect_values)
+    def test_rect_relations_invariant(self, transform, a, b):
+        """Touching, strict overlap and rectilinear gap are preserved —
+        the invariants the hierarchical DRC relies on to reuse per-cell
+        verdicts under placement transforms."""
+        ta, tb = a.transformed(transform), b.transformed(transform)
+        assert ta.touches(tb) == a.touches(b)
+        assert ta.overlaps(tb, strict=True) == a.overlaps(b, strict=True)
+        assert ta.distance_to(tb) == a.distance_to(b)
+        assert ta.contains_rect(tb) == a.contains_rect(b)
+
+    @given(transform=transforms, a=rect_values, b=rect_values)
+    def test_union_and_intersection_commute_with_transform(self, transform, a, b):
+        assert a.union(b).transformed(transform) == \
+            a.transformed(transform).union(b.transformed(transform))
+        overlap = a.intersection(b)
+        t_overlap = a.transformed(transform).intersection(b.transformed(transform))
+        if overlap is None:
+            assert t_overlap is None
+        else:
+            assert t_overlap == overlap.transformed(transform)

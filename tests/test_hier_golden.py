@@ -1,0 +1,281 @@
+"""Differential golden suite: hierarchical analysis == flat reference.
+
+The hierarchical engine (:mod:`repro.analysis.hier`) must be a pure
+optimisation: for every design, its DRC violations, extracted netlist and
+metrics must be **byte-identical** — ordering, node names, device names,
+violation locations included — to the flat reference path.  The reference
+here is the all-pairs ``use_index=False`` engines for the small example
+designs and the indexed flat path for the big PDP-8 layout (the indexed
+path is itself pinned to the brute-force one by ``test_index_golden``).
+
+Randomized coverage comes from a hypothesis strategy that grows nested
+cells with rotated and mirrored instances, overlapping abutments and
+deliberate violations straddling instance boundaries — exactly the
+geometry the interface pass must get right.
+"""
+
+import os
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import HierAnalyzer
+from repro.drc import DrcChecker
+from repro.extract.extractor import Extractor
+from repro.generators import FsmLayoutGenerator, PlaGenerator
+from repro.geometry.point import Point
+from repro.geometry.transform import Orientation
+from repro.layout.cell import Cell
+from repro.logic import TruthTable, parse_expr
+from repro.metrics import measure_cell
+from repro.technology import nmos_technology
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "examples"))
+from chip_assembly import build_chip  # noqa: E402
+from traffic_light_controller import build_fsm  # noqa: E402
+from pdp8_subset_compiler import compiled_machine_summary  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return nmos_technology()
+
+
+def netlist_identity(circuit):
+    """The full netlist, order-sensitive: names, devices, ports, counts."""
+    return (
+        circuit.cell_name,
+        circuit.node_names,
+        circuit.network.transistors,
+        circuit.network.inputs,
+        circuit.network.outputs,
+        circuit.summary(),
+    )
+
+
+def assert_hier_equals_flat(cell, technology, use_index=False, analyzer=None,
+                            check_metrics=True):
+    """The differential assertion: hierarchical == flat, byte for byte."""
+    if analyzer is None:
+        analyzer = HierAnalyzer(technology)
+    flat_violations = DrcChecker(technology, use_index=use_index).check(cell)
+    hier_violations = analyzer.drc(cell)
+    assert hier_violations == flat_violations
+    flat_circuit = Extractor(technology, use_index=use_index).extract(cell)
+    hier_circuit = analyzer.extract(cell)
+    assert netlist_identity(hier_circuit) == netlist_identity(flat_circuit)
+    if check_metrics:
+        assert analyzer.measure(cell) == measure_cell(cell, technology)
+    return analyzer
+
+
+# -- the four example designs -------------------------------------------------
+
+
+class TestExampleDesigns:
+    def test_quickstart_adder_pla(self, technology):
+        table = TruthTable.from_expressions(
+            {"sum": parse_expr("a ^ b ^ cin"),
+             "carry": parse_expr("a & b | a & cin | b & cin")},
+            input_names=["a", "b", "cin"])
+        pla = PlaGenerator(technology, table, name="adder_pla").cell()
+        assert_hier_equals_flat(pla, technology)
+
+    def test_traffic_light_controller(self, technology):
+        for encoding in ("binary", "one_hot"):
+            cell = FsmLayoutGenerator(technology, build_fsm(),
+                                      encoding=encoding).cell()
+            assert_hier_equals_flat(cell, technology)
+
+    def test_chip_assembly_family(self, technology):
+        # One shared analyzer across the family: the chips share every
+        # generator cell, so the per-cell caches carry over.
+        analyzer = HierAnalyzer(technology)
+        for bits, extra in ((4, 0), (8, 2)):
+            chip = build_chip(f"golden_hier_{bits}b", bits, extra)[1]
+            assert_hier_equals_flat(chip, technology, analyzer=analyzer)
+
+    def test_pdp8_subset_compiler(self, technology):
+        # The PDP-8 layout is too large for the all-pairs reference in
+        # tier-1 time; the indexed flat path stands in (it is pinned to the
+        # brute-force path by test_index_golden / bench E11).
+        _compiled, layout, _report = compiled_machine_summary()
+        assert_hier_equals_flat(layout, technology, use_index=True)
+
+
+# -- deliberate boundary violations -------------------------------------------
+
+
+class TestBoundaryViolations:
+    """Violations that exist only because of how instances are placed."""
+
+    def test_spacing_violation_straddles_abutting_instances(self, technology):
+        leaf = Cell("bv_leaf")
+        leaf.add_box("metal", 0, 0, 6, 4)
+        top = Cell("bv_top")
+        top.place(leaf, 0, 0)
+        top.place(leaf, 8, 0)     # gap 2 < metal spacing 3: interface violation
+        top.place(leaf, 20, 0)    # far away: clean
+        analyzer = assert_hier_equals_flat(top, technology)
+        violations = analyzer.drc(top)
+        assert any(v.rule_name == "S.M.M" and v.actual == 2 for v in violations)
+
+    def test_enclosure_satisfied_only_across_instance_edge(self, technology):
+        # The contact's metal surround is completed by a neighbouring
+        # instance's metal: the per-cell verdict (violation) must be
+        # overturned by the interface pass.
+        cut = Cell("bv_cut")
+        cut.add_box("contact", 0, 0, 2, 2)
+        cut.add_box("metal", -1, -1, 2, 3)    # covers only the left part
+        cap = Cell("bv_cap")
+        cap.add_box("metal", 0, -1, 3, 3)
+        top = Cell("bv_enclosure")
+        top.place(cut, 0, 0)
+        top.place(cap, 2, 0)                  # completes the surround
+        assert_hier_equals_flat(top, technology)
+        # And without the cap, the violation must survive composition.
+        alone = Cell("bv_enclosure_alone")
+        alone.place(cut, 0, 0)
+        analyzer = HierAnalyzer(technology)
+        assert analyzer.drc(alone) == DrcChecker(
+            technology, use_index=False).check(alone)
+        assert any(v.rule_name == "N.M.C" for v in analyzer.drc(alone))
+
+    def test_nets_merge_across_instance_boundary(self, technology):
+        # Two instances abut so their diffusion fuses into one node; a label
+        # in one instance must name geometry of the other.
+        half = Cell("bv_half")
+        half.add_box("diffusion", 0, 0, 6, 2)
+        named = Cell("bv_named")
+        named.add_box("diffusion", 0, 0, 6, 2)
+        named.add_label("bus", Point(1, 1), "diffusion")
+        top = Cell("bv_net_merge")
+        top.place(named, 0, 0)
+        top.place(half, 6, 0)                 # abuts: same electrical node
+        analyzer = assert_hier_equals_flat(top, technology)
+        circuit = analyzer.extract(top)
+        assert "bus" in circuit.node_names
+
+    def test_transistor_formed_across_instance_boundary(self, technology):
+        # Poly from one instance crosses diffusion from another: the channel
+        # exists only in the composed view.
+        poly_cell = Cell("bv_poly")
+        poly_cell.add_box("poly", 0, 0, 2, 10)
+        diff_cell = Cell("bv_diff")
+        diff_cell.add_box("diffusion", -4, 0, 6, 2)
+        top = Cell("bv_device")
+        top.place(poly_cell, 0, 0)
+        top.place(diff_cell, 0, 4)
+        analyzer = assert_hier_equals_flat(top, technology)
+        flat = Extractor(technology, use_index=False).extract(top)
+        assert analyzer.extract(top).transistor_count == flat.transistor_count
+
+
+# -- randomized hierarchies ---------------------------------------------------
+
+LAYERS = ("diffusion", "poly", "metal", "contact", "buried", "implant")
+LABELS = ("a", "b", "x", "vdd", "gnd")
+
+coords = st.integers(min_value=-12, max_value=12)
+sizes = st.integers(min_value=1, max_value=9)
+
+rect_shapes = st.tuples(st.sampled_from(LAYERS), coords, coords, sizes, sizes)
+labels = st.tuples(st.sampled_from(LABELS), coords, coords,
+                   st.sampled_from(("", "poly", "metal", "diffusion")))
+placements = st.tuples(st.integers(min_value=0, max_value=5),
+                       st.sampled_from(list(Orientation)),
+                       coords, coords)
+
+
+@st.composite
+def hierarchies(draw):
+    """A 2-3 level cell DAG with rotated/mirrored, possibly abutting or
+    overlapping instances, and geometry dense enough that some shapes land
+    exactly on instance boundaries."""
+    cells = []
+    for index in range(draw(st.integers(min_value=2, max_value=4))):
+        cell = Cell(f"hyp_leaf_{index}")
+        for layer, x, y, w, h in draw(st.lists(rect_shapes, min_size=1,
+                                               max_size=5)):
+            cell.add_box(layer, x, y, x + w, y + h)
+        for text, x, y, layer in draw(st.lists(labels, max_size=2)):
+            cell.add_label(text, Point(x, y), layer)
+        cells.append(cell)
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        cell = Cell(f"hyp_mid_{index}")
+        for layer, x, y, w, h in draw(st.lists(rect_shapes, max_size=3)):
+            cell.add_box(layer, x, y, x + w, y + h)
+        for which, orientation, x, y in draw(st.lists(placements, min_size=1,
+                                                      max_size=3)):
+            cell.place(cells[which % len(cells)], x, y, orientation)
+        cells.append(cell)
+    top = Cell("hyp_top")
+    for layer, x, y, w, h in draw(st.lists(rect_shapes, max_size=3)):
+        top.add_box(layer, x, y, x + w, y + h)
+    for text, x, y, layer in draw(st.lists(labels, max_size=2)):
+        top.add_label(text, Point(x, y), layer)
+    for which, orientation, x, y in draw(st.lists(placements, min_size=2,
+                                                  max_size=5)):
+        top.place(cells[which % len(cells)], x, y, orientation)
+    return top
+
+
+class TestRandomizedHierarchies:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(top=hierarchies())
+    def test_hierarchical_equals_brute_force(self, top):
+        technology = nmos_technology()
+        assert_hier_equals_flat(top, technology)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(top=hierarchies(), data=st.data())
+    def test_incremental_reanalysis_after_mutation(self, top, data):
+        """Mutating any cell at any depth must invalidate exactly the right
+        caches: the SAME analyzer must keep matching the flat reference."""
+        technology = nmos_technology()
+        analyzer = assert_hier_equals_flat(top, technology)
+        victims = top.descendants() or [top]
+        victim = data.draw(st.sampled_from(victims))
+        layer = data.draw(st.sampled_from(LAYERS))
+        x = data.draw(coords)
+        victim.add_box(layer, x, x, x + 3, x + 2)
+        assert_hier_equals_flat(top, technology, analyzer=analyzer)
+
+
+# -- cache behaviour ----------------------------------------------------------
+
+
+class TestArtifactCaching:
+    def test_repeated_analysis_hits_cache(self, technology):
+        table = TruthTable.from_expressions(
+            {"q": parse_expr("a & b | ~a & c")}, input_names=["a", "b", "c"])
+        pla = PlaGenerator(technology, table, name="cache_pla").cell()
+        top = Cell("cache_top")
+        for index in range(8):
+            top.place(pla, index * (pla.width + 10), 0)
+        analyzer = HierAnalyzer(technology)
+        first = analyzer.drc(top)
+        built = analyzer.stats["drc_artifacts"]
+        assert analyzer.drc(top) == first
+        assert analyzer.stats["drc_artifacts"] == built  # pure cache hit
+
+    def test_shared_cells_reused_across_designs(self, technology):
+        table = TruthTable.from_expressions(
+            {"q": parse_expr("a ^ b")}, input_names=["a", "b"])
+        pla = PlaGenerator(technology, table, name="shared_pla").cell()
+        chip_a = Cell("cache_chip_a")
+        chip_a.place(pla, 0, 0)
+        chip_b = Cell("cache_chip_b")
+        chip_b.place(pla, 0, 0)
+        chip_b.place(pla, pla.width + 20, 0)
+        analyzer = HierAnalyzer(technology)
+        analyzer.drc(chip_a)
+        built = analyzer.stats["drc_artifacts"]
+        analyzer.drc(chip_b)
+        # Only chip_b's own artifact is new; the PLA's is shared.
+        assert analyzer.stats["drc_artifacts"] == built + 1

@@ -104,3 +104,76 @@ class TestStatistics:
         assert stats.bbox_area == 0
         assert stats.density() == 0.0
         assert stats.regularity == 1.0
+
+
+class TestTransitiveInvalidation:
+    """A mutation anywhere below a cell must invalidate every ancestor.
+
+    Regression for the memoized flat views and the hierarchical analysis
+    caches (repro.analysis.hier): both key on a single per-cell version
+    counter, so a grandchild edit that fails to propagate would silently
+    serve stale geometry and stale DRC results.
+    """
+
+    def make_three_levels(self):
+        grandchild = Cell("ti_grandchild")
+        grandchild.add_box("metal", 0, 0, 4, 4)
+        child = Cell("ti_child")
+        child.place(grandchild, 0, 0)
+        child.place(grandchild, 10, 0)
+        top = Cell("ti_top")
+        top.place(child, 0, 0)
+        top.place(child, 0, 20)
+        return grandchild, child, top
+
+    def test_grandchild_mutation_bumps_every_ancestor(self):
+        grandchild, child, top = self.make_three_levels()
+        versions = (grandchild.subtree_version, child.subtree_version,
+                    top.subtree_version)
+        grandchild.add_box("poly", 1, 1, 3, 3)
+        assert grandchild.subtree_version > versions[0]
+        assert child.subtree_version > versions[1]
+        assert top.subtree_version > versions[2]
+
+    def test_diamond_hierarchy_bumps_each_ancestor_once(self):
+        leaf = Cell("ti_leaf")
+        leaf.add_box("metal", 0, 0, 2, 2)
+        left = Cell("ti_left")
+        left.place(leaf, 0, 0)
+        right = Cell("ti_right")
+        right.place(leaf, 0, 0)
+        top = Cell("ti_diamond")
+        top.place(left, 0, 0)
+        top.place(right, 20, 0)
+        before = top.subtree_version
+        leaf.add_box("poly", 0, 0, 1, 1)
+        assert top.subtree_version == before + 1
+
+    def test_grandchild_mutation_refreshes_memoized_flat_view(self):
+        grandchild, _child, top = self.make_three_levels()
+        before = flatten_cell(top)
+        assert len(before.shapes) == 4
+        grandchild.add_box("poly", 0, 0, 2, 2)
+        after = flatten_cell(top)
+        assert after is not before
+        assert len(after.shapes) == 8
+
+    def test_grandchild_mutation_changes_drc_and_hier_cache(self):
+        from repro.analysis import HierAnalyzer
+        from repro.drc import DrcChecker
+        from repro.technology import nmos_technology
+
+        technology = nmos_technology()
+        grandchild, _child, top = self.make_three_levels()
+        checker = DrcChecker(technology)
+        analyzer = HierAnalyzer(technology)
+        assert checker.check(top) == analyzer.drc(top) == []
+        # A 1-lambda metal sliver violates the metal width rule (W.M = 3)
+        # in every placement of the grandchild.
+        grandchild.add_box("metal", 6, 0, 7, 4)
+        flat_violations = checker.check(top)
+        hier_violations = analyzer.drc(top)   # same analyzer: caches stale?
+        assert hier_violations == flat_violations
+        # Width + spacing per placement: 2 child placements x 2 top each.
+        assert len(hier_violations) == 8
+        assert {v.rule_name for v in hier_violations} == {"W.M", "S.M.M"}
