@@ -1,0 +1,65 @@
+"""Guard benchmark results against regressions.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json [FACTOR]
+
+Compares every ``*speedup*`` field of a freshly measured bench JSON
+against the committed baseline and exits non-zero if any fell by more
+than ``FACTOR`` (default 2.0).  Speedup ratios are compared rather than
+raw wall times because both sides of each ratio are measured on the same
+machine in the same run — a slower CI runner shifts the numerator and
+denominator together, so the guard stays meaningful across machines.
+"""
+
+import json
+import sys
+
+
+def main(argv) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(current_path) as handle:
+        current = json.load(handle)
+
+    ratio_fields = sorted(
+        key for key in baseline
+        if "speedup" in key and isinstance(baseline[key], (int, float))
+    )
+    if not ratio_fields:
+        print(f"no speedup fields in {baseline_path}; nothing to check")
+        return 2
+
+    failures = []
+    for field in ratio_fields:
+        committed = baseline[field]
+        measured = current.get(field)
+        if measured is None:
+            failures.append(f"{field}: missing from {current_path}")
+            continue
+        floor = committed / factor
+        status = "ok" if measured >= floor else "REGRESSED"
+        print(f"{field}: committed {committed:.2f}x, measured {measured:.2f}x, "
+              f"floor {floor:.2f}x -> {status}")
+        if measured < floor:
+            failures.append(
+                f"{field}: {measured:.2f}x is more than {factor:.1f}x below "
+                f"the committed {committed:.2f}x"
+            )
+
+    if failures:
+        print("benchmark regression detected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,26 +1,34 @@
 """Netlist comparison (the LVS step).
 
-Two comparisons are provided:
+Three comparisons are provided:
 
 * :func:`compare_netlists` — structural comparison of two gate-level
   modules: same port signature, same gate census and a greedy
-  signature-refinement isomorphism check of the connection graph.
+  signature-refinement isomorphism check of the connection graph;
+* :func:`compare_netlists` with ``functional=True`` — bit-parallel
+  *functional* equivalence: instead of demanding the same gates, it proves
+  the two modules compute the same outputs, exhaustively over all input
+  patterns when the input count permits (one levelized pass evaluates
+  every pattern at once via packed bitplanes) and by seeded random
+  stimulus above that; sequential modules are co-simulated from reset over
+  many independent stimulus streams in parallel;
 * :func:`compare_switch_networks` — transistor-level comparison used to
   check an extracted network against a reference (device census per kind
   and per-node degree signatures).
 
-Both return a :class:`ComparisonResult` carrying human-readable mismatch
+All return a :class:`ComparisonResult` carrying human-readable mismatch
 diagnostics rather than just a boolean, because the interesting output of an
 LVS run is *why* the descriptions disagree.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
-from repro.netlist.module import GateType, Module
-from repro.netlist.switch_sim import SwitchNetwork, TransistorKind
+from repro.netlist.module import Module
+from repro.netlist.switch_sim import SwitchNetwork
 
 
 @dataclass
@@ -40,8 +48,19 @@ class ComparisonResult:
 
 
 def compare_netlists(golden: Module, candidate: Module,
-                     check_names: bool = False) -> ComparisonResult:
-    """Compare two gate-level modules structurally."""
+                     check_names: bool = False,
+                     functional: bool = False,
+                     exhaustive_limit: int = 12,
+                     stimulus_vectors: int = 64,
+                     stimulus_cycles: int = 64,
+                     seed: int = 0) -> ComparisonResult:
+    """Compare two gate-level modules.
+
+    Structurally by default; with ``functional=True`` the gate census and
+    connection-graph checks are replaced by a functional equivalence sweep
+    (an RTL-compiled netlist and a hand reference are then allowed to use
+    entirely different gates as long as they compute the same function).
+    """
     golden_flat = golden.flattened()
     candidate_flat = candidate.flattened()
     mismatches: List[str] = []
@@ -55,6 +74,14 @@ def compare_netlists(golden: Module, candidate: Module,
     if golden_outputs != candidate_outputs:
         mismatches.append(f"output ports differ: {golden_outputs} vs {candidate_outputs}")
 
+    if functional:
+        if not mismatches:
+            mismatches.extend(_functional_mismatches(
+                golden_flat, candidate_flat, golden_inputs, golden_outputs,
+                exhaustive_limit, stimulus_vectors, stimulus_cycles, seed,
+            ))
+        return ComparisonResult(not mismatches, mismatches)
+
     golden_census = golden_flat.count_by_type()
     candidate_census = candidate_flat.count_by_type()
     if golden_census != candidate_census:
@@ -65,6 +92,117 @@ def compare_netlists(golden: Module, candidate: Module,
             mismatches.append("connection graph signatures differ")
 
     return ComparisonResult(not mismatches, mismatches)
+
+
+# -- functional equivalence ------------------------------------------------------------
+
+
+def _functional_mismatches(golden_flat: Module, candidate_flat: Module,
+                           inputs: List[str], outputs: List[str],
+                           exhaustive_limit: int, stimulus_vectors: int,
+                           stimulus_cycles: int, seed: int) -> List[str]:
+    from repro.sim import BitplaneEvaluator, CompiledNetlist, \
+        exhaustive_input_planes, run_streams
+    from repro.sim.kernel import OP_LATCH
+
+    golden_compiled = CompiledNetlist(golden_flat)
+    candidate_compiled = CompiledNetlist(candidate_flat)
+    # Latches hold state just like flip-flops, and so do cyclic netlists
+    # (cross-coupled gates): a single combinational pass cannot distinguish
+    # "holds the previous value" from X, so any stateful module must take
+    # the co-simulation path for the verdict to be sound.
+    sequential = bool(
+        golden_compiled.dffs or candidate_compiled.dffs
+        or OP_LATCH in golden_compiled.gate_ops
+        or OP_LATCH in candidate_compiled.gate_ops
+        or golden_compiled.is_cyclic or candidate_compiled.is_cyclic
+    )
+
+    if sequential:
+        rng = random.Random(seed)
+        stimulus = [
+            [{name: rng.getrandbits(1) for name in inputs}
+             for _cycle in range(stimulus_cycles)]
+            for _stream in range(stimulus_vectors)
+        ]
+        try:
+            golden_traces = run_streams(golden_compiled, stimulus,
+                                        record=outputs, reset_value=0)
+            candidate_traces = run_streams(candidate_compiled, stimulus,
+                                           record=outputs, reset_value=0)
+        except RuntimeError as error:
+            # An oscillating (typically cross-coupled) netlist has no
+            # settled value to compare; refuse to call that equivalent.
+            return [
+                f"functional check inconclusive: {error} under random "
+                f"stimulus (seed {seed}); not provably equivalent"
+            ]
+        for stream in range(stimulus_vectors):
+            for cycle in range(stimulus_cycles):
+                golden_cycle = golden_traces[stream][cycle]
+                candidate_cycle = candidate_traces[stream][cycle]
+                if golden_cycle == candidate_cycle:
+                    continue
+                name = next(n for n in outputs
+                            if golden_cycle[n] != candidate_cycle[n])
+                return [
+                    "functional mismatch: output "
+                    f"{name!r} = {candidate_cycle[name]} vs {golden_cycle[name]} "
+                    f"at cycle {cycle} of random stimulus stream {stream} "
+                    f"(seed {seed}, {stimulus_vectors} parallel streams from reset)"
+                ]
+        return []
+
+    num_inputs = len(inputs)
+    if num_inputs <= exhaustive_limit:
+        width = 1 << num_inputs
+        planes = exhaustive_input_planes(num_inputs)
+        described = f"exhaustive over all {width} input patterns"
+    else:
+        width = stimulus_vectors
+        mask = (1 << width) - 1
+        rng = random.Random(seed)
+        planes = []
+        for _name in inputs:
+            hi_plane = rng.getrandbits(width) & mask
+            planes.append((hi_plane, mask ^ hi_plane))
+        described = f"{width} random input patterns (seed {seed})"
+
+    golden_eval = BitplaneEvaluator(golden_compiled, width)
+    candidate_eval = BitplaneEvaluator(candidate_compiled, width)
+    for name, (hi_plane, lo_plane) in zip(inputs, planes):
+        golden_eval.set_input_planes(name, hi_plane, lo_plane)
+        candidate_eval.set_input_planes(name, hi_plane, lo_plane)
+    golden_eval.evaluate()
+    candidate_eval.evaluate()
+
+    for name in outputs:
+        golden_hi, golden_lo = golden_eval.get_planes(name)
+        candidate_hi, candidate_lo = candidate_eval.get_planes(name)
+        diff = (golden_hi ^ candidate_hi) | (golden_lo ^ candidate_lo)
+        if not diff:
+            continue
+        vector = (diff & -diff).bit_length() - 1
+        assignment = {
+            input_name: (planes[i][0] >> vector) & 1
+            for i, input_name in enumerate(inputs)
+        }
+        def _decode(hi_plane: int, lo_plane: int) -> object:
+            if (hi_plane >> vector) & 1:
+                return 1
+            if (lo_plane >> vector) & 1:
+                return 0
+            return "X"
+        return [
+            f"functional mismatch: output {name!r} = "
+            f"{_decode(candidate_hi, candidate_lo)} vs "
+            f"{_decode(golden_hi, golden_lo)} for inputs {assignment} "
+            f"({described})"
+        ]
+    return []
+
+
+# -- structural signatures -------------------------------------------------------------
 
 
 def _net_signatures(module: Module) -> Dict[str, Tuple]:
@@ -96,30 +234,51 @@ def _signatures_match(golden: Module, candidate: Module, rounds: int = 4) -> boo
     practice distinguishes all the netlists this toolchain produces; the
     refinement incorporates neighbour signatures so swapped connections are
     detected.
+
+    Signatures are interned to integer ids shared between both modules, so
+    each refinement round appends and sorts small ints instead of building
+    (previously ``repr``-keyed) nested tuples whose size doubled per round.
     """
-    golden_signature = _net_signatures(golden)
-    candidate_signature = _net_signatures(candidate)
+    interner: Dict[Tuple, int] = {}
+
+    def intern(value: Tuple) -> int:
+        sig_id = interner.get(value)
+        if sig_id is None:
+            sig_id = len(interner)
+            interner[value] = sig_id
+        return sig_id
+
+    golden_ids = {name: intern(sig)
+                  for name, sig in _net_signatures(golden).items()}
+    candidate_ids = {name: intern(sig)
+                     for name, sig in _net_signatures(candidate).items()}
 
     for _ in range(rounds):
-        if sorted(golden_signature.values()) != sorted(candidate_signature.values()):
+        if sorted(golden_ids.values()) != sorted(candidate_ids.values()):
             return False
-        golden_signature = _refine(golden, golden_signature)
-        candidate_signature = _refine(candidate, candidate_signature)
-    return sorted(golden_signature.values()) == sorted(candidate_signature.values())
+        golden_ids = _refine(golden, golden_ids, intern)
+        candidate_ids = _refine(candidate, candidate_ids, intern)
+    return sorted(golden_ids.values()) == sorted(candidate_ids.values())
 
 
-def _refine(module: Module, signature: Dict[str, Tuple]) -> Dict[str, Tuple]:
-    refined: Dict[str, Tuple] = {}
-    neighbour: Dict[str, List[Tuple]] = {name: [] for name in signature}
+_MISSING_SIGNATURE = ("missing",)
+
+
+def _refine(module: Module, signature: Dict[str, int],
+            intern: Callable[[Tuple], int]) -> Dict[str, int]:
+    missing = intern(_MISSING_SIGNATURE)
+    neighbour: Dict[str, List[int]] = {name: [] for name in signature}
     for instance in module.instances:
         nets = list(instance.connections.values())
         for net in nets:
+            bucket = neighbour.setdefault(net, [])
             for other in nets:
                 if other != net:
-                    neighbour.setdefault(net, []).append(signature.get(other, ()))
-    for name, base in signature.items():
-        refined[name] = (base, tuple(sorted(map(repr, neighbour.get(name, [])))))
-    return refined
+                    bucket.append(signature.get(other, missing))
+    return {
+        name: intern((base, tuple(sorted(neighbour.get(name, [])))))
+        for name, base in signature.items()
+    }
 
 
 def compare_switch_networks(golden: SwitchNetwork, candidate: SwitchNetwork) -> ComparisonResult:

@@ -4,14 +4,31 @@ Supports three-valued logic (0, 1, X), combinational convergence within a
 cycle, clocked D flip-flops (one implicit clock) and transparent latches.
 Also reports a unit-delay critical-path estimate per evaluation, which the
 E2 "cost in space and speed" experiment uses as its speed metric.
+
+Two execution paths share this façade:
+
+* the **compiled kernel** (default, ``use_compiled=True``): the netlist is
+  lowered once by :mod:`repro.sim.kernel` to integer-indexed arrays with
+  precomputed fanout, so each settle sweep after the first touches only the
+  gates downstream of nets that actually changed;
+* the **reference interpreter** (``use_compiled=False``): the original
+  rescan-everything implementation, kept as the golden semantic reference —
+  differential tests pin the compiled path trace-identical to it (values,
+  ``last_depth`` and ``critical_path_estimate`` included), mirroring the
+  ``use_index=False`` convention of the geometry engine.
+
+In compiled mode ``values`` and ``state`` remain live name-keyed views that
+the kernel keeps in sync; mutate state through ``set_inputs``/``reset``
+(direct writes into ``values`` are only honoured by the interpreter path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.netlist.module import GateType, Instance, Module
+from repro.sim.kernel import CompiledNetlist, ScalarEngine
 
 X = None  # unknown value marker
 
@@ -35,7 +52,8 @@ class SimulationTrace:
 class GateLevelSimulator:
     """Simulate a (flattened) structural module."""
 
-    def __init__(self, module: Module, settle_limit: int = 10000):
+    def __init__(self, module: Module, settle_limit: int = 10000,
+                 use_compiled: bool = True):
         self.module = module.flattened()
         problems = [p for p in self.module.validate() if "never driven" not in p]
         if problems:
@@ -43,26 +61,24 @@ class GateLevelSimulator:
         self.settle_limit = settle_limit
         self.values: Dict[str, Optional[int]] = {name: X for name in self.module.nets}
         self.state: Dict[str, Optional[int]] = {}
-        self._drivers: Dict[str, Instance] = {}
-        self._fanout: Dict[str, List[Instance]] = {}
-        for instance in self.module.instances:
-            output = instance.connections.get("out")
-            if output is not None and not instance.kind.is_sequential:
-                self._drivers[output] = instance
-            for port, net in instance.connections.items():
-                if port != "out":
-                    self._fanout.setdefault(net, []).append(instance)
         self.last_depth = 0
+        self._dffs: List[Instance] = [
+            instance for instance in self.module.instances
+            if instance.kind is GateType.DFF
+        ]
+        self.use_compiled = use_compiled
+        self._engine: Optional[ScalarEngine] = None
+        if use_compiled:
+            self._compiled = CompiledNetlist(self.module)
+            self._engine = ScalarEngine(
+                self._compiled, self.values, self.state, settle_limit
+            )
 
     # -- evaluation -----------------------------------------------------------------
 
     def _gate_output(self, instance: Instance) -> Optional[int]:
         gate: GateType = instance.kind
-        inputs = [
-            self.values.get(net)
-            for port, net in sorted(instance.connections.items())
-            if port.startswith("in")
-        ]
+        inputs = [self.values.get(net) for net in instance.data_input_nets()]
         if gate is GateType.CONST0:
             return 0
         if gate is GateType.CONST1:
@@ -110,8 +126,10 @@ class GateLevelSimulator:
 
     def settle(self) -> int:
         """Propagate combinational logic to a fixed point; returns the depth."""
+        if self._engine is not None:
+            self.last_depth = self._engine.settle()
+            return self.last_depth
         depth = 0
-        pending: Set[str] = set(self._drivers)
         iterations = 0
         changed_nets: Set[str] = set(self.module.nets)
         while changed_nets:
@@ -122,7 +140,7 @@ class GateLevelSimulator:
             for instance in self.module.instances:
                 if instance.kind.is_sequential and instance.kind is not GateType.LATCH:
                     continue
-                input_nets = [net for port, net in instance.connections.items() if port != "out"]
+                input_nets = instance.input_nets()
                 if input_nets and not any(net in changed_nets for net in input_nets):
                     continue
                 output_net = instance.connections.get("out")
@@ -139,6 +157,15 @@ class GateLevelSimulator:
         return depth
 
     def set_inputs(self, assignment: Dict[str, int]) -> None:
+        engine = self._engine
+        if engine is not None:
+            index = self._compiled.net_index
+            for name, value in assignment.items():
+                if name not in self.module.nets:
+                    raise KeyError(f"unknown input net {name!r}")
+                engine.set_value(index[name],
+                                 value if value is X else int(bool(value)))
+            return
         for name, value in assignment.items():
             if name not in self.module.nets:
                 raise KeyError(f"unknown input net {name!r}")
@@ -152,17 +179,18 @@ class GateLevelSimulator:
 
     def clock(self) -> None:
         """One clock edge: all DFFs capture their D inputs simultaneously."""
-        captured: Dict[str, Optional[int]] = {}
-        for instance in self.module.instances:
-            if instance.kind is GateType.DFF:
-                data_net = instance.connections.get("in0")
-                captured[instance.name] = self.values.get(data_net)
-        for instance in self.module.instances:
-            if instance.kind is GateType.DFF:
-                output_net = instance.connections.get("out")
-                value = captured[instance.name]
+        if self._engine is not None:
+            self._engine.clock()
+        else:
+            # Single pass over the flip-flops: capture every D first, then
+            # apply, so a DFF feeding another DFF shifts its *old* value.
+            captured = [
+                (instance, self.values.get(instance.connections.get("in0")))
+                for instance in self._dffs
+            ]
+            for instance, value in captured:
                 self.state[instance.name] = value
-                self.values[output_net] = value
+                self.values[instance.connections["out"]] = value
         self.settle()
 
     def run(self, input_sequence: Sequence[Dict[str, int]],
@@ -181,18 +209,21 @@ class GateLevelSimulator:
 
     def reset(self, value: int = 0) -> None:
         """Force all flip-flop states to ``value`` and re-settle."""
-        for instance in self.module.instances:
-            if instance.kind is GateType.DFF:
+        if self._engine is not None:
+            self._engine.reset(value)
+        else:
+            for instance in self._dffs:
                 self.state[instance.name] = value
                 self.values[instance.connections["out"]] = value
         self.settle()
 
     def critical_path_estimate(self) -> int:
         """Longest combinational depth (unit delay per gate) in the module."""
+        if self._engine is not None:
+            return self._compiled.critical_path_estimate()
         depth_of: Dict[str, int] = {name: 0 for name in self.module.input_names()}
-        for instance in self.module.instances:
-            if instance.kind is GateType.DFF:
-                depth_of[instance.connections["out"]] = 0
+        for instance in self._dffs:
+            depth_of[instance.connections["out"]] = 0
 
         # Iteratively relax until stable (handles arbitrary topological order).
         changed = True
@@ -210,8 +241,7 @@ class GateLevelSimulator:
                 if output is None:
                     continue
                 input_depths = [
-                    depth_of.get(net, 0)
-                    for port, net in instance.connections.items() if port != "out"
+                    depth_of.get(net, 0) for net in instance.input_nets()
                 ]
                 candidate = (max(input_depths) if input_depths else 0) + 1
                 if candidate > depth_of.get(output, 0):

@@ -59,6 +59,13 @@ class Net:
         return hash(self.name)
 
 
+def _data_port_index(port: str) -> Optional[int]:
+    """The numeric index of an ``in<N>`` data port, or None for other ports."""
+    if port.startswith("in") and port[2:].isdigit():
+        return int(port[2:])
+    return None
+
+
 @dataclass
 class Instance:
     """A placed component: a primitive gate or a sub-module.
@@ -79,6 +86,26 @@ class Instance:
     @property
     def kind_name(self) -> str:
         return self.kind.value if isinstance(self.kind, GateType) else self.kind.name
+
+    def data_input_nets(self) -> List[str]:
+        """Nets on the ``in<N>`` data ports, in numeric port order.
+
+        A plain string sort would order ``in10`` before ``in2``; every
+        consumer that cares about operand order (simulators, the compiled
+        kernel) must go through this helper so wide gates evaluate their
+        operands in declaration order.
+        """
+        indexed = [
+            (index, net)
+            for port, net in self.connections.items()
+            if (index := _data_port_index(port)) is not None
+        ]
+        indexed.sort()
+        return [net for _, net in indexed]
+
+    def input_nets(self) -> List[str]:
+        """All nets on non-output ports (data inputs plus sel/enable/...)."""
+        return [net for port, net in self.connections.items() if port != "out"]
 
 
 class Module:

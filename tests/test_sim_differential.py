@@ -1,0 +1,415 @@
+"""Differential test suites: compiled paths vs their golden interpreters.
+
+Hypothesis generates random netlists, stimulus sequences, transistor
+networks and RTL input streams; every compiled/incremental execution path
+must be trace-identical to the reference implementation it replaced —
+values, ``last_depth`` and ``critical_path_estimate`` included.  This is
+the simulation-kernel counterpart of ``tests/test_index_golden.py`` and
+``tests/test_hier_golden.py`` for the geometry engine.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import GateLevelSimulator, GateType, Module, \
+    SwitchLevelSimulator, SwitchNetwork, TransistorKind
+from repro.rtl import RtlCompiler, RtlSimulator, parse_rtl
+from repro.sim import CompiledNetlist, run_streams
+
+# -- random netlist generation -----------------------------------------------------------
+
+_COMB_GATES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+               GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+               GateType.MUX2, GateType.LATCH]
+
+
+@st.composite
+def random_modules(draw):
+    """A random module: DAG of combinational gates plus DFF feedback arcs.
+
+    State nets are created first so combinational gates can read them; the
+    DFFs driving those nets are added last from arbitrary nets, giving
+    counter-like feedback across clock edges without combinational cycles.
+    """
+    num_inputs = draw(st.integers(1, 4))
+    num_state = draw(st.integers(0, 3))
+    num_gates = draw(st.integers(1, 24))
+
+    module = Module("rand")
+    nets = []
+    for i in range(num_inputs):
+        module.add_input(f"in_{i}")
+        nets.append(f"in_{i}")
+    state_nets = [f"st_{i}" for i in range(num_state)]
+    for name in state_nets:
+        module.add_net(name)
+    nets.extend(state_nets)
+
+    for g in range(num_gates):
+        gate = draw(st.sampled_from(_COMB_GATES))
+        out = f"n_{g}"
+        if gate in (GateType.NOT, GateType.BUF):
+            source = draw(st.sampled_from(nets))
+            module.add_gate(gate, out, [source])
+        elif gate is GateType.MUX2:
+            sel, a, b = (draw(st.sampled_from(nets)) for _ in range(3))
+            module.add_gate(gate, out, [], sel=sel, a=a, b=b)
+        elif gate is GateType.LATCH:
+            data, enable = (draw(st.sampled_from(nets)) for _ in range(2))
+            module.add_gate(gate, out, [data], enable=enable)
+        else:
+            arity = draw(st.integers(2, 4))
+            # Occasionally feed the gate its own output: a one-gate cycle,
+            # exercising the cyclic (sweep/relaxation) kernel paths.
+            pool = nets + ([out] if draw(st.booleans()) else [])
+            sources = [draw(st.sampled_from(pool)) for _ in range(arity)]
+            module.add_gate(gate, out, sources)
+        nets.append(out)
+
+    for name in state_nets:
+        data = draw(st.sampled_from(nets))
+        module.add_gate(GateType.DFF, name, [data])
+
+    watched = draw(st.sampled_from(nets))
+    module.add_output(watched)
+    return module
+
+
+def vector_sequences(module, max_cycles=6):
+    # Every input is optional per cycle: omitted names must hold their
+    # previous value in every engine, explicit None drives X.
+    inputs = module.input_names()
+    vector = st.fixed_dictionaries({}, optional={
+        name: st.sampled_from([0, 1, None]) for name in inputs
+    })
+    return st.lists(vector, min_size=1, max_size=max_cycles)
+
+
+@st.composite
+def modules_with_stimulus(draw):
+    module = draw(random_modules())
+    sequence = draw(vector_sequences(module))
+    return module, sequence
+
+
+def _lockstep(compiled, reference, operation):
+    """Run one operation on both simulators; oscillation must agree too.
+
+    Returns True when both raised (identically) — the netlist genuinely
+    oscillates and the simulators are done; post-raise dictionary state is
+    not part of the contract (the compiled path syncs its name-keyed view
+    only on successful settles).
+    """
+    errors = []
+    for sim in (compiled, reference):
+        try:
+            operation(sim)
+            errors.append(None)
+        except RuntimeError as error:
+            errors.append(str(error))
+    assert errors[0] == errors[1]
+    return errors[0] is not None
+
+
+class TestGateLevelDifferential:
+    @given(modules_with_stimulus())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_matches_interpreter(self, case):
+        module, sequence = case
+        # A small settle_limit keeps oscillating examples cheap; parity of
+        # the limit-triggered RuntimeError is part of the contract.
+        compiled = GateLevelSimulator(module, settle_limit=64)
+        reference = GateLevelSimulator(module, settle_limit=64,
+                                       use_compiled=False)
+        assert compiled.critical_path_estimate() == \
+            reference.critical_path_estimate()
+        if _lockstep(compiled, reference, lambda sim: sim.reset(0)):
+            return
+        assert compiled.last_depth == reference.last_depth
+        for vector in sequence:
+            compiled.set_inputs(vector)
+            reference.set_inputs(vector)
+            if _lockstep(compiled, reference, lambda sim: sim.settle()):
+                return
+            assert compiled.values == reference.values
+            assert compiled.last_depth == reference.last_depth
+            if _lockstep(compiled, reference, lambda sim: sim.clock()):
+                return
+            assert compiled.values == reference.values
+            assert compiled.state == reference.state
+
+    @given(modules_with_stimulus())
+    @settings(max_examples=30, deadline=None)
+    def test_bitplane_streams_match_interpreter(self, case):
+        module, sequence = case
+        lowered = CompiledNetlist(module)
+        if lowered.is_cyclic:
+            return   # stream runner guarantees exactness for DAGs only
+        traces = run_streams(lowered, [sequence, sequence])
+        reference = GateLevelSimulator(module, use_compiled=False)
+        reference.reset(0)
+        expected = reference.run(sequence)
+        assert traces[0] == expected.cycles
+        assert traces[1] == expected.cycles
+
+
+# -- switch level ------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw):
+    num_signal_nodes = draw(st.integers(2, 6))
+    signal_nodes = [f"s{i}" for i in range(num_signal_nodes)]
+    num_inputs = draw(st.integers(1, 3))
+    inputs = [f"a{i}" for i in range(num_inputs)]
+    pool = signal_nodes + inputs + ["vdd", "gnd"]
+
+    network = SwitchNetwork("rand")
+    for name in inputs:
+        network.add_input(name)
+    for name in signal_nodes[:2]:
+        network.add_output(name)
+
+    num_devices = draw(st.integers(1, 10))
+    for _ in range(num_devices):
+        kind = draw(st.sampled_from([TransistorKind.ENHANCEMENT,
+                                     TransistorKind.ENHANCEMENT,
+                                     TransistorKind.DEPLETION]))
+        gate = draw(st.sampled_from(inputs + signal_nodes))
+        source = draw(st.sampled_from(pool))
+        drain = draw(st.sampled_from(pool))
+        network.add_transistor(gate, source, drain, kind)
+
+    assignments = draw(st.lists(
+        st.fixed_dictionaries({
+            name: st.sampled_from([0, 1, None]) for name in inputs
+        }),
+        min_size=1, max_size=5,
+    ))
+    return network, assignments
+
+
+class TestSwitchLevelDifferential:
+    @given(random_networks())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_reference(self, case):
+        network, assignments = case
+        incremental = SwitchLevelSimulator(network)
+        reference = SwitchLevelSimulator(network, use_incremental=False)
+        for assignment in assignments:
+            incremental_error = reference_error = None
+            try:
+                incremental_out = incremental.evaluate(assignment)
+            except RuntimeError as error:
+                incremental_error = str(error)
+            try:
+                reference_out = reference.evaluate(assignment)
+            except RuntimeError as error:
+                reference_error = str(error)
+            assert incremental_error == reference_error
+            if incremental_error is not None:
+                return   # both diverged identically; states are undefined now
+            assert incremental_out == reference_out
+            assert incremental.values == reference.values
+
+
+# -- RTL ---------------------------------------------------------------------------------
+
+
+_COUNTER = """
+machine counter;
+input load[1], data[4];
+output q[4];
+register count[4];
+always begin
+    if (load) count <- data;
+    else count <- count + 1;
+    q = count;
+end
+"""
+
+_LFSR = """
+machine lfsr8;
+input seed[8], load[1];
+output q[8];
+register state[8];
+always begin
+    if (load) state <- seed;
+    else state <- {state[6:0], state[7] ^ state[5] ^ state[4] ^ state[3]};
+    q = state;
+end
+"""
+
+_ALU = """
+machine alu;
+input op[2], x[6], y[6];
+output r[6], flag[1];
+register acc[6];
+memory scratch[4][6];
+always begin
+    if (op == 0) acc <- acc + x;
+    if (op == 1) acc <- acc - y;
+    if (op == 2) scratch[x[1:0]] <- acc ^ y;
+    if (op == 3) acc <- scratch[y[1:0]];
+    r = acc & (x | y);
+    flag = acc == y;
+end
+"""
+
+
+class TestRtlErrorParity:
+    """Compiled closures must fail exactly when the interpreter fails."""
+
+    @staticmethod
+    def _machine_with_body(*statements):
+        from repro.rtl.ast import Block, DeclKind, MachineDescription
+        machine = MachineDescription("m")
+        machine.declare(DeclKind.INPUT, "a", 1)
+        machine.declare(DeclKind.OUTPUT, "y", 4)
+        machine.declare(DeclKind.MEMORY, "mem", 4, depth=4)
+        machine.body = Block(tuple(statements))
+        return machine
+
+    def test_undeclared_name_in_untaken_branch_defers(self):
+        from repro.rtl.ast import (Assignment, BinaryOp, Block, Constant,
+                                   Identifier, IfStatement)
+        dead = Assignment(Identifier("y"),
+                          BinaryOp("+", Identifier("ghost"), Constant(1)),
+                          clocked=False)
+        machine = self._machine_with_body(
+            IfStatement(Identifier("a"), Block((dead,))),
+        )
+        for use_compiled in (True, False):
+            sim = RtlSimulator(machine, use_compiled=use_compiled)
+            sim.step({"a": 0})   # branch not taken: no error either way
+            with pytest.raises(KeyError, match="undeclared signal 'ghost'"):
+                sim.step({"a": 1})
+
+    def test_value_expression_raises_before_bad_target(self):
+        from repro.rtl.ast import Assignment, Identifier
+        # The interpreter evaluates the assigned value before looking at
+        # the target, so the value's error must win in both paths.
+        machine = self._machine_with_body(
+            Assignment(Identifier("nosuch_target"), Identifier("nosuch_value"),
+                       clocked=False),
+        )
+        for use_compiled in (True, False):
+            sim = RtlSimulator(machine, use_compiled=use_compiled)
+            with pytest.raises(KeyError, match="undeclared signal 'nosuch_value'"):
+                sim.step()
+
+    def test_clocked_transfer_to_input_raises_identically(self):
+        from repro.rtl.ast import Assignment, Constant, Identifier
+        machine = self._machine_with_body(
+            Assignment(Identifier("a"), Constant(1), clocked=True),
+        )
+        for use_compiled in (True, False):
+            sim = RtlSimulator(machine, use_compiled=use_compiled)
+            with pytest.raises(ValueError, match="clocked transfer to non-register"):
+                sim.step()
+
+    def test_undeclared_memory_read_evaluates_address_first(self):
+        from repro.rtl.ast import Assignment, Identifier, MemoryAccess
+        machine = self._machine_with_body(
+            Assignment(Identifier("y"),
+                       MemoryAccess("nomem", Identifier("bogus")),
+                       clocked=False),
+        )
+        for use_compiled in (True, False):
+            sim = RtlSimulator(machine, use_compiled=use_compiled)
+            # The address operand's own error must surface first.
+            with pytest.raises(KeyError, match="undeclared signal 'bogus'"):
+                sim.step()
+
+    def test_logical_ops_do_not_short_circuit(self):
+        from repro.rtl.ast import Assignment, BinaryOp, Constant, Identifier
+        machine = self._machine_with_body(
+            Assignment(Identifier("y"),
+                       BinaryOp("&&", Constant(0), Identifier("mem")),
+                       clocked=False),
+        )
+        for use_compiled in (True, False):
+            sim = RtlSimulator(machine, use_compiled=use_compiled)
+            # The interpreter evaluates both operands of && even when the
+            # left is falsy; 'mem' names a memory, which is not a signal.
+            with pytest.raises(KeyError, match="undeclared signal 'mem'"):
+                sim.step({"a": 0})
+
+
+class TestRtlDifferential:
+    @pytest.mark.parametrize("source", [_COUNTER, _LFSR, _ALU])
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_closures_match_interpreter(self, source, data):
+        machine = parse_rtl(source)
+        compiled = RtlSimulator(machine)
+        reference = RtlSimulator(machine, use_compiled=False)
+        cycles = data.draw(st.integers(1, 8))
+        masks = {d.name: d.mask for d in machine.inputs}
+        for _ in range(cycles):
+            vector = {
+                name: data.draw(st.integers(0, mask))
+                for name, mask in masks.items()
+            }
+            assert compiled.step(vector) == reference.step(vector)
+            assert compiled.values == reference.values
+            assert compiled.memories == reference.memories
+
+
+# -- three-level co-simulation -----------------------------------------------------------
+
+
+def _word(trace_cycle, name, width):
+    return sum((trace_cycle[f"{name}_{i}"] or 0) << i for i in range(width))
+
+
+class TestThreeLevelCosimulation:
+    """RTL, gate and switch descriptions of the same machines agree."""
+
+    @pytest.mark.parametrize("source,data_port,width", [
+        (_COUNTER, "data", 4),
+        (_LFSR, "seed", 8),
+    ])
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_rtl_vs_gate(self, source, data_port, width, data):
+        machine = parse_rtl(source)
+        compiled_module = RtlCompiler(machine).compile().module
+
+        rtl_sim = RtlSimulator(machine)
+        gate_sim = GateLevelSimulator(compiled_module)
+        gate_sim.reset(0)
+
+        cycles = data.draw(st.integers(1, 6))
+        for _ in range(cycles):
+            load = data.draw(st.integers(0, 1))
+            word = data.draw(st.integers(0, (1 << width) - 1))
+            rtl_out = rtl_sim.step({"load": load, data_port: word})["q"]
+            vector = {"load_0": load}
+            vector.update({f"{data_port}_{i}": (word >> i) & 1
+                           for i in range(width)})
+            gate_trace = gate_sim.run([vector])
+            # ``q = count`` reads the register before the clocked transfer
+            # lands, which is exactly the trace's pre-edge sample.
+            gate_out = _word(gate_trace.cycles[0], "q", width)
+            assert gate_out == rtl_out
+
+    @given(a=st.integers(0, 1), b=st.integers(0, 1))
+    @settings(max_examples=4, deadline=None)
+    def test_gate_vs_switch_nand(self, a, b):
+        from repro.cells import NandCell
+        from repro.extract import extract_cell
+        from repro.technology import nmos_technology
+
+        technology = nmos_technology()
+        extracted = extract_cell(NandCell(technology, inputs=2).cell(), technology)
+        switch_sim = SwitchLevelSimulator(extracted.network)
+        switch_out = switch_sim.evaluate({"in0": a, "in1": b})["out"]
+
+        module = Module("nand")
+        module.add_inputs("in0", "in1")
+        module.add_outputs("out")
+        module.add_gate(GateType.NAND, "out", ["in0", "in1"])
+        gate_out = GateLevelSimulator(module).evaluate(
+            {"in0": a, "in1": b})["out"]
+        assert switch_out == gate_out == (0 if a and b else 1)
