@@ -1,0 +1,137 @@
+"""E14 — static timing analysis: cold, warm and incremental sign-off.
+
+The timing subsystem (:mod:`repro.timing`) must pay for itself the same
+way the hierarchical DRC/extraction engine does: analyze each unique cell
+once, cache the artifact per (cell, mutation version, orientation), and
+re-time only what an edit touched.  This experiment measures exactly that
+on the chip-assembly family's largest member:
+
+* **cold** — fresh analyzer: extraction artifacts and timing artifacts all
+  built from geometry;
+* **warm** — the same chip re-timed: one cache lookup;
+* **incremental** — one block cell (the control PLA) is mutated and the
+  chip re-timed: only the mutated cell and its ancestors rebuild, and the
+  result is *exactly* equal (float-identical) to a cold run on a fresh
+  analyzer over the mutated design;
+* **family reuse** — the two smaller chips of the family are timed on the
+  shared analyzer: their generator blocks' artifacts carry over.
+
+``BENCH_e14.json`` records the timings and speedup ratios; CI runs this
+file and fails if the ratios regress more than 2x against the committed
+baseline (ratios, not wall times, so the guard is machine-independent).
+The warm ratio is capped before recording: a cache hit is effectively
+O(1), so the raw ratio is timer noise above the cap.
+"""
+
+import os
+import sys
+import time
+
+from benchmarks.conftest import emit, record_bench
+from repro.analysis import HierAnalyzer
+from repro.metrics import format_histogram, format_table, slack_histogram
+from repro.technology import nmos_technology
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "examples"))
+from chip_assembly import build_chip  # noqa: E402
+
+WARM_SPEEDUP_CAP = 500.0
+WARM_REPEATS = 10
+
+
+def test_e14_timing_cold_warm_incremental():
+    technology = nmos_technology()
+    assembler, chip = build_chip("e14_family_16b", 16, 4)
+
+    analyzer = HierAnalyzer(technology)
+    start = time.perf_counter()
+    cold = analyzer.timing(chip)
+    cold_seconds = time.perf_counter() - start
+    cold_artifacts = analyzer.stats["timing_artifacts"]
+    assert cold.worst_delay_ns > 0
+    assert cold.max_frequency_mhz > 0
+
+    start = time.perf_counter()
+    for _ in range(WARM_REPEATS):
+        warm = analyzer.timing(chip)
+    warm_seconds = (time.perf_counter() - start) / WARM_REPEATS
+    assert warm == cold
+    assert analyzer.stats["timing_artifacts"] == cold_artifacts
+
+    # Incremental: mutate one block cell far from everything else.
+    victim = dict(assembler._blocks)["control"]
+    victim.add_box("metal", -60, -60, -56, -56)
+    start = time.perf_counter()
+    incremental = analyzer.timing(chip)
+    incremental_seconds = time.perf_counter() - start
+    rebuilt = analyzer.stats["timing_artifacts"] - cold_artifacts
+    affected = [cell for cell in [chip] + chip.descendants()
+                if cell is victim or cell.references(victim)]
+    assert rebuilt == len(affected), (
+        f"incremental STA rebuilt {rebuilt} artifacts, expected "
+        f"{len(affected)} (mutated cell + ancestors)")
+
+    # Exactness: the incremental result equals a cold run over the mutated
+    # design on a fresh analyzer, float for float.
+    fresh = HierAnalyzer(technology)
+    fresh_cold = fresh.timing(chip)
+    assert incremental == fresh_cold
+
+    # Family reuse: the smaller chips share every generator block.
+    family_rows = []
+    family_start = time.perf_counter()
+    for bits, extra in ((4, 0), (8, 2)):
+        member = build_chip(f"e14_family_{bits}b", bits, extra)[1]
+        timing = analyzer.timing(member)
+        family_rows.append([f"{bits}-bit", str(timing.device_count),
+                            f"{timing.worst_delay_ns:.1f}",
+                            f"{timing.max_frequency_mhz:.2f}"])
+    family_seconds = time.perf_counter() - family_start
+    assert analyzer.stats["timing_hits"] > 0
+
+    warm_speedup = min(cold_seconds / max(warm_seconds, 1e-9),
+                       WARM_SPEEDUP_CAP)
+    incremental_speedup = cold_seconds / max(incremental_seconds, 1e-9)
+    assert warm_speedup >= 3.0
+    assert incremental_speedup >= 1.1
+
+    rows = [
+        ["cold (build everything)", f"{cold_seconds * 1e3:.1f}",
+         str(cold_artifacts), "1.0x"],
+        [f"warm (cache hit, avg of {WARM_REPEATS})",
+         f"{warm_seconds * 1e3:.3f}", "0", f"{warm_speedup:.0f}x"],
+        ["incremental (1 cell mutated)", f"{incremental_seconds * 1e3:.1f}",
+         str(rebuilt), f"{incremental_speedup:.1f}x"],
+    ]
+    emit(format_table(
+        ["run", "time (ms)", "timing artifacts built", "speedup"],
+        rows,
+        f"E14: STA of the 16-bit family chip "
+        f"({incremental.device_count} devices, "
+        f"fmax {incremental.max_frequency_mhz:.2f} MHz)"))
+    emit(format_table(
+        ["chip", "devices", "worst delay (ns)", "fmax (MHz)"],
+        family_rows,
+        f"E14: family members on the shared analyzer "
+        f"({family_seconds * 1e3:.0f} ms for both)"))
+    emit(format_histogram(
+        slack_histogram(incremental.slacks_ns(), bins=8),
+        title="E14: endpoint slack at the critical period (16-bit chip)"))
+
+    record_bench(
+        "e14", None,
+        devices=incremental.device_count,
+        nodes=incremental.node_count,
+        loops_broken=incremental.loops_broken,
+        worst_delay_ns=round(incremental.worst_delay_ns, 2),
+        max_frequency_mhz=round(incremental.max_frequency_mhz, 4),
+        cold_seconds=round(cold_seconds, 4),
+        warm_seconds=round(warm_seconds, 6),
+        incremental_seconds=round(incremental_seconds, 4),
+        family_seconds=round(family_seconds, 4),
+        timing_artifacts_cold=cold_artifacts,
+        timing_artifacts_incremental=rebuilt,
+        warm_speedup=round(warm_speedup, 2),
+        incremental_speedup=round(incremental_speedup, 2),
+    )

@@ -6,8 +6,15 @@ whose parameters (datapath width, control complexity) generate a whole
 family of pads-out chips; the program stays the same size while the chips
 it produces grow.
 
-Run:  python examples/chip_assembly.py
+Run:  python examples/chip_assembly.py [--out DIR]
+
+Generated CIF goes to ``--out`` (default: a fresh temporary directory), so
+running the example never litters the repository.
 """
+
+import argparse
+import os
+import tempfile
 
 from repro.assembly import ChipAssembler
 from repro.cif import write_cif
@@ -63,12 +70,21 @@ def build_chip(name: str, bits: int, extra_control: int):
     return assembler, chip
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="directory for generated CIF output "
+                             "(default: a fresh temporary directory)")
+    args = parser.parse_args(argv)
+    out_dir = args.out or tempfile.mkdtemp(prefix="chip_family_")
+    os.makedirs(out_dir, exist_ok=True)
+
     technology = nmos_technology()
     rows = []
     library = Library("chip_family", technology)
     # One hierarchical analyzer for the whole family: the chips share every
-    # generator's cells, so each unique block is DRC'd and extracted once.
+    # generator's cells, so each unique block is DRC'd, extracted and timed
+    # once.
     from repro.analysis import HierAnalyzer
 
     analyzer = HierAnalyzer(technology)
@@ -83,16 +99,18 @@ def main() -> None:
             report.core_width * report.core_height, report.chip_area,
             f"{report.core_utilisation:.2f}", f"{report.pad_overhead:.2f}",
             len(sign_off.violations), sign_off.circuit.transistor_count,
+            f"{sign_off.max_frequency_mhz:.2f}",
         ])
     print(format_table(
         ["chip", "bits", "description size", "pads", "core area", "chip area",
-         "utilisation", "pad overhead", "DRC", "transistors"],
+         "utilisation", "pad overhead", "DRC", "transistors", "fmax (MHz)"],
         rows,
         "One assembly program, three chips (signed off hierarchically)",
     ))
 
-    cif_text = write_cif(library, path="chip_family.cif")
-    print(f"\nWrote chip_family.cif with {len(library)} cells "
+    cif_path = os.path.join(out_dir, "chip_family.cif")
+    cif_text = write_cif(library, path=cif_path)
+    print(f"\nWrote {cif_path} with {len(library)} cells "
           f"({len(cif_text)} bytes) — the manufacturing interface for the whole family.")
 
 

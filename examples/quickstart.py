@@ -5,8 +5,15 @@ This is the paper's claim in miniature: a *completely textual description*
 into manufacturing data (CIF) for a silicon part, with physical verification
 (DRC + extraction) along the way.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--out DIR]
+
+Generated CIF goes to ``--out`` (default: a fresh temporary directory), so
+running the example never litters the repository.
 """
+
+import argparse
+import os
+import tempfile
 
 from repro.cif import write_cif
 from repro.drc import check_cell
@@ -18,7 +25,15 @@ from repro.metrics import format_table, measure_cell
 from repro.technology import nmos_technology
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="directory for generated CIF output "
+                             "(default: a fresh temporary directory)")
+    args = parser.parse_args(argv)
+    out_dir = args.out or tempfile.mkdtemp(prefix="quickstart_")
+    os.makedirs(out_dir, exist_ok=True)
+
     technology = nmos_technology()          # Mead & Conway NMOS, lambda = 2.5 um
 
     # 1. The design, as text: a one-bit full adder.
@@ -54,8 +69,9 @@ def main() -> None:
     # 5. Manufacturing data: CIF out.
     library = Library("quickstart", technology)
     library.add_cell(pla)
-    cif_text = write_cif(library, path="quickstart_adder.cif")
-    print(f"Wrote quickstart_adder.cif ({len(cif_text)} bytes of CIF)")
+    cif_path = os.path.join(out_dir, "quickstart_adder.cif")
+    cif_text = write_cif(library, path=cif_path)
+    print(f"Wrote {cif_path} ({len(cif_text)} bytes of CIF)")
 
     metrics = measure_cell(pla, technology)
     print()

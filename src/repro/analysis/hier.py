@@ -75,6 +75,8 @@ from repro.metrics.report import DesignMetrics, metrics_from_stats
 from repro.netlist.switch_sim import SwitchNetwork
 from repro.technology.rules import RuleKind
 from repro.technology.technology import Technology
+from repro.timing.parasitics import ParasiticModel, annotate_parasitics
+from repro.timing.switch import BlockTiming, SwitchTimingAnalyzer
 
 _ORIGIN = Point(0, 0)
 
@@ -383,7 +385,8 @@ class HierAnalyzer:
                       "[Cell, Dict[Tuple[str, Orientation], Tuple[int, object]]]")
         self._cache = weakref.WeakKeyDictionary()
         self.stats = {"views": 0, "drc_artifacts": 0, "extract_artifacts": 0,
-                      "drc_hits": 0, "extract_hits": 0}
+                      "drc_hits": 0, "extract_hits": 0,
+                      "timing_artifacts": 0, "timing_hits": 0}
 
     # -- public API ---------------------------------------------------------
 
@@ -396,6 +399,35 @@ class HierAnalyzer:
         """Extracted netlist, identical to the flat extractor's output."""
         artifact = self._extract_artifact(cell, Orientation.R0)
         return self._finish_extract(cell, artifact)
+
+    def timing(self, cell: Cell) -> BlockTiming:
+        """Static timing of the cell's extracted circuit, cached per cell.
+
+        Artifacts are cached per ``(cell, mutation version, orientation)``
+        exactly like the DRC/extraction artifacts: re-timing after an edit
+        recomputes only the mutated cell and its ancestors (every other
+        cell's artifact is a cache hit, visible in ``stats``), and the
+        result is float-identical to a cold run because the analysis is a
+        pure function of the (incrementally composed) extracted circuit.
+        """
+        return self._timing_artifact(cell, Orientation.R0)
+
+    def _timing_artifact(self, cell: Cell, orientation: Orientation) -> BlockTiming:
+        hit = self._cached("timing", cell, orientation)
+        if hit is not None:
+            self.stats["timing_hits"] += 1
+            return hit
+        self.stats["timing_artifacts"] += 1
+        view = self._view(cell, orientation)
+        # Children first: their artifacts are shared across every chip of a
+        # family that instantiates the same generator cells (and across
+        # repeated placements within one chip).
+        for source in view.sources[1:]:
+            self._timing_artifact(source.cell, source.orientation)
+        circuit = self._finish_extract(
+            cell, self._extract_artifact(cell, orientation))
+        timing = SwitchTimingAnalyzer(self.technology).analyze(circuit)
+        return self._store("timing", cell, orientation, timing)
 
     def measure(self, cell: Cell) -> DesignMetrics:
         """Design metrics, identical to :func:`repro.metrics.measure_cell`."""
@@ -1626,6 +1658,7 @@ class HierAnalyzer:
 
         network = SwitchNetwork(cell.name)
         enhancement = depletion = 0
+        device_channels: List[Rect] = []
         for cid, channel in enumerate(art.channels):
             gate_gid = art.gates[cid]
             gate_node = None if gate_gid is None else node_of_item[P + gate_gid]
@@ -1633,6 +1666,7 @@ class HierAnalyzer:
             device = emit_transistor(network, cid, channel, gate_node,
                                      terminals, art.depletion[cid])
             if device is not None:
+                device_channels.append(channel)
                 if art.depletion[cid]:
                     depletion += 1
                 else:
@@ -1641,6 +1675,13 @@ class HierAnalyzer:
         from repro.extract.extractor import declare_ports
 
         declare_ports(network, cell.ports, set(names.values()), view.labels)
+        # The item enumeration mirrors the flat extractor's builder items
+        # exactly (diffusion pieces, then poly, then metal, same layer
+        # names), so the parasitic annotation is identical whenever the
+        # netlists are.
+        items = ([("diffusion", rect) for rect in art.pieces]
+                 + [("poly", rect) for rect in view.layer("poly")]
+                 + [("metal", rect) for rect in view.layer("metal")])
         return ExtractedCircuit(
             cell_name=cell.name,
             network=network,
@@ -1648,6 +1689,9 @@ class HierAnalyzer:
             transistor_count=len(network.transistors),
             enhancement_count=enhancement,
             depletion_count=depletion,
+            parasitics=annotate_parasitics(
+                ParasiticModel(self.technology), items, node_of_item,
+                network.transistors, device_channels),
         )
 
     # -- metrics ------------------------------------------------------------

@@ -12,9 +12,17 @@ from repro.assembly.river import river_route, RiverRoutingError
 from repro.assembly.channel import ChannelRouter, ChannelNet, ChannelResult
 from repro.assembly.floorplan import Floorplan, FloorplanItem, pack_shelves
 from repro.assembly.padframe import PadRing, PadSpec
-from repro.assembly.chip import ChipAssembler, ChipReport, SignOffReport
+from repro.assembly.chip import (
+    ChipAssembler,
+    ChipReport,
+    ChipTimingReport,
+    IoPathTiming,
+    SignOffReport,
+)
 
 __all__ = [
+    "ChipTimingReport",
+    "IoPathTiming",
     "river_route",
     "RiverRoutingError",
     "ChannelRouter",

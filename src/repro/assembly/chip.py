@@ -18,6 +18,71 @@ from repro.layout.cell import Cell
 from repro.assembly.floorplan import Floorplan, pack_shelves
 from repro.assembly.padframe import PadRing, PadSpec
 from repro.technology.technology import Technology
+from repro.timing.parasitics import ParasiticModel, rc_ns
+from repro.timing.switch import BlockTiming
+
+
+@dataclass
+class IoPathTiming:
+    """One routed pad-to-core connection, timed through the boundary pin."""
+
+    pad: str
+    block: str
+    port: str
+    route_length: int
+    route_delay_ns: float
+    block_depth_ns: float     # worst path launched from the block's pin
+
+    @property
+    def total_ns(self) -> float:
+        return self.route_delay_ns + self.block_depth_ns
+
+
+@dataclass
+class ChipTimingReport:
+    """Chip-level static timing: whole-chip STA plus per-block artifacts.
+
+    ``chip`` is the STA of the composed extracted chip (critical path, max
+    frequency); ``blocks`` are the cached per-block artifacts the analyzer
+    reused; ``io_paths`` compose pad-to-core routes with each block's
+    boundary-pin depth — the instance-boundary composition that lets a
+    family of chips share every block's timing.
+    """
+
+    chip: BlockTiming
+    blocks: List[Tuple[str, BlockTiming]] = field(default_factory=list)
+    io_paths: List[IoPathTiming] = field(default_factory=list)
+
+    @property
+    def worst_delay_ns(self) -> float:
+        return self.chip.worst_delay_ns
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        return self.chip.max_frequency_mhz
+
+    def rows(self) -> List[List[str]]:
+        """Per-block summary rows for the metrics table formatter."""
+        table = []
+        for name, timing in self.blocks:
+            table.append([
+                name, str(timing.device_count),
+                f"{timing.worst_delay_ns:.1f}",
+                f"{timing.max_frequency_mhz:.1f}",
+                str(timing.loops_broken),
+            ])
+        table.append([
+            self.chip.name, str(self.chip.device_count),
+            f"{self.chip.worst_delay_ns:.1f}",
+            f"{self.chip.max_frequency_mhz:.1f}",
+            str(self.chip.loops_broken),
+        ])
+        return table
+
+    @staticmethod
+    def header() -> List[str]:
+        return ["block", "devices", "worst delay (ns)", "max freq (MHz)",
+                "loops broken"]
 
 
 @dataclass
@@ -27,10 +92,15 @@ class SignOffReport:
     violations: List = field(default_factory=list)
     circuit: Optional[object] = None
     metrics: Optional[object] = None
+    timing: Optional[ChipTimingReport] = None
 
     @property
     def clean(self) -> bool:
         return not self.violations
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        return 0.0 if self.timing is None else self.timing.max_frequency_mhz
 
 
 @dataclass
@@ -63,6 +133,13 @@ class ChipReport:
         return 1.0 - self.core_area / self.chip_area
 
 
+def _wire_rect(length: int, width: int):
+    """A straight route of the given centre-line length, as a rectangle."""
+    from repro.geometry.rect import Rect
+
+    return Rect(0, 0, max(length, 1), width)
+
+
 class ChipAssembler:
     """Assemble core blocks and pads into a complete chip."""
 
@@ -74,6 +151,8 @@ class ChipAssembler:
         self._connections: List[Tuple[str, Tuple[str, str]]] = []
         self.report: Optional[ChipReport] = None
         self._chip: Optional[Cell] = None
+        #: (pad, block, port, length, width) of every drawn pad route.
+        self._route_info: List[Tuple[str, str, str, int, int]] = []
 
     # -- the parameterised description --------------------------------------------------
 
@@ -116,6 +195,7 @@ class ChipAssembler:
         # 3. Route each connected pad to its core port with an L-shaped wire.
         routed = 0
         total_length = 0
+        self._route_info = []
         pad_position = {p.spec.name: p.core_position for p in ring.placements}
         for pad_name, (block_name, port_name) in self._connections:
             if pad_name not in pad_position:
@@ -132,9 +212,13 @@ class ChipAssembler:
             points = [source, Point(source.x, target.y), target]
             if source.x == target.x or source.y == target.y:
                 points = [source, target]
-            chip.add_wire("metal", points, 4)
-            total_length += sum(abs(a.x - b.x) + abs(a.y - b.y)
-                                for a, b in zip(points, points[1:]))
+            route_width = 4
+            chip.add_wire("metal", points, route_width)
+            length = sum(abs(a.x - b.x) + abs(a.y - b.y)
+                         for a, b in zip(points, points[1:]))
+            total_length += length
+            self._route_info.append((pad_name, block_name, port_name, length,
+                                     route_width))
             routed += 1
 
         bbox = chip.bbox()
@@ -180,7 +264,34 @@ class ChipAssembler:
             violations=analyzer.drc(self._chip),
             circuit=analyzer.extract(self._chip),
             metrics=analyzer.measure(self._chip),
+            timing=self._timing_report(analyzer),
         )
+
+    def _timing_report(self, analyzer) -> ChipTimingReport:
+        """Chip STA plus per-block artifacts and pad-route compositions."""
+        chip_timing = analyzer.timing(self._chip)
+        blocks = [(name, analyzer.timing(cell)) for name, cell in self._blocks]
+        block_timing = dict(blocks)
+        model = ParasiticModel(self.technology)
+        io_paths: List[IoPathTiming] = []
+        for pad_name, block_name, port_name, length, width in self._route_info:
+            # The route is a metal wire of known drawn geometry: sheet
+            # squares for resistance, area plus fringe for capacitance (the
+            # Elmore term of the boundary crossing).
+            res = model.rect_res_ohm("metal", _wire_rect(length, width))
+            cap = model.rect_cap_ff("metal", _wire_rect(length, width))
+            route_delay = rc_ns(model.pass_res_ohm + res, cap)
+            # The block's burden at the boundary pin: worst path launched
+            # from it (input pins) or arriving at it (output pins).  A pin
+            # whose node carries no devices in the extracted block
+            # contributes nothing, honestly.
+            timing = block_timing[block_name]
+            depth = max(timing.input_depth_ns.get(port_name, 0.0),
+                        timing.output_arrival_ns.get(port_name, 0.0))
+            io_paths.append(IoPathTiming(pad_name, block_name, port_name,
+                                         length, route_delay, depth))
+        return ChipTimingReport(chip=chip_timing, blocks=blocks,
+                                io_paths=io_paths)
 
     def description_size(self) -> int:
         """Size of the assembly description: blocks + pads + connections.

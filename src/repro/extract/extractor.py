@@ -31,6 +31,11 @@ from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
 from repro.netlist.switch_sim import SwitchNetwork, Transistor, TransistorKind
 from repro.technology.technology import Technology
+from repro.timing.parasitics import (
+    NetParasitics,
+    ParasiticModel,
+    annotate_parasitics,
+)
 
 
 @dataclass
@@ -43,6 +48,9 @@ class ExtractedCircuit:
     transistor_count: int = 0
     enhancement_count: int = 0
     depletion_count: int = 0
+    #: Per-net RC estimates (wire/gate capacitance, lumped resistance),
+    #: annotated by both extraction paths for the timing analyzer.
+    parasitics: Dict[str, NetParasitics] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, int]:
         return {
@@ -169,6 +177,7 @@ class Extractor:
         implant_index = build_index(implant, brute_force=brute)
         network = SwitchNetwork(cell.name)
         enhancement = depletion = 0
+        device_channels: List[Rect] = []
         for index, channel in enumerate(channels):
             gate_id = gate_item(poly, poly_index, channel)
             gate_node = None if gate_id is None else node_of_item[len(diff_ids) + gate_id]
@@ -180,6 +189,7 @@ class Extractor:
             device = emit_transistor(network, index, channel, gate_node,
                                      terminals, is_depletion)
             if device is not None:
+                device_channels.append(channel)
                 if is_depletion:
                     depletion += 1
                 else:
@@ -194,6 +204,9 @@ class Extractor:
             transistor_count=len(network.transistors),
             enhancement_count=enhancement,
             depletion_count=depletion,
+            parasitics=annotate_parasitics(
+                ParasiticModel(self.technology), builder.items, node_of_item,
+                network.transistors, device_channels),
         )
         return circuit
 

@@ -2,16 +2,22 @@
 
 from repro.metrics.report import (
     DesignMetrics,
-    measure_cell,
-    wire_length_estimate,
+    SlackHistogram,
+    format_histogram,
     format_table,
+    measure_cell,
+    slack_histogram,
     speed_estimate_ns,
+    wire_length_estimate,
 )
 
 __all__ = [
     "DesignMetrics",
+    "SlackHistogram",
+    "format_histogram",
     "measure_cell",
     "wire_length_estimate",
     "format_table",
+    "slack_histogram",
     "speed_estimate_ns",
 ]

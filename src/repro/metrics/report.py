@@ -116,6 +116,67 @@ def speed_estimate_ns(logic_depth: int, technology: Technology,
     return logic_depth * pair_delay / 2.0 + wire_penalty
 
 
+@dataclass
+class SlackHistogram:
+    """Endpoint slacks bucketed for the timing sign-off report."""
+
+    bin_edges: List[float]          # len(bins) + 1 edges
+    counts: List[int]
+    violations: int                 # endpoints with negative slack
+    worst_ns: float                 # most negative (or smallest) slack
+    total: int
+
+    def rows(self) -> List[List[str]]:
+        table = []
+        for index, count in enumerate(self.counts):
+            lo, hi = self.bin_edges[index], self.bin_edges[index + 1]
+            table.append([f"[{lo:.1f}, {hi:.1f})", str(count)])
+        return table
+
+
+def slack_histogram(slacks_ns: Sequence[float], bins: int = 8) -> SlackHistogram:
+    """Bucket endpoint slacks into equal-width bins.
+
+    Negative slacks (violations) are counted separately so a sign-off
+    report can lead with them; a degenerate range (all slacks equal)
+    collapses to one bin.
+    """
+    values = list(slacks_ns)
+    if not values:
+        return SlackHistogram([0.0, 0.0], [0], 0, 0.0, 0)
+    low, high = min(values), max(values)
+    violations = sum(1 for s in values if s < 0)
+    if high <= low:
+        return SlackHistogram([low, low], [len(values)], violations, low,
+                              len(values))
+    width = (high - low) / bins
+    edges = [low + i * width for i in range(bins + 1)]
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / width), bins - 1)
+        counts[index] += 1
+    return SlackHistogram(edges, counts, violations, low, len(values))
+
+
+def format_histogram(histogram: SlackHistogram, width: int = 40,
+                     title: Optional[str] = None) -> str:
+    """ASCII bar rendering of a slack histogram."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(histogram.counts) if histogram.counts else 0
+    for index, count in enumerate(histogram.counts):
+        lo = histogram.bin_edges[index]
+        hi = histogram.bin_edges[min(index + 1, len(histogram.bin_edges) - 1)]
+        bar = "#" * (0 if peak == 0 else max(1 if count else 0,
+                                             round(count * width / peak)))
+        lines.append(f"{lo:>9.1f} .. {hi:>9.1f} ns | {bar} {count}")
+    lines.append(f"endpoints: {histogram.total}, violations: "
+                 f"{histogram.violations}, worst slack: "
+                 f"{histogram.worst_ns:.2f} ns")
+    return "\n".join(lines)
+
+
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
                  title: Optional[str] = None) -> str:
     """Fixed-width text table (the benchmarks print these as their output)."""

@@ -27,8 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from typing import TYPE_CHECKING
+
 from repro.netlist.module import GateType, Instance, Module
-from repro.sim.kernel import CompiledNetlist, ScalarEngine
+
+if TYPE_CHECKING:   # the kernel package imports this package's modules
+    from repro.sim.kernel import ScalarEngine
 
 X = None  # unknown value marker
 
@@ -67,8 +71,14 @@ class GateLevelSimulator:
             if instance.kind is GateType.DFF
         ]
         self.use_compiled = use_compiled
-        self._engine: Optional[ScalarEngine] = None
+        self._engine: Optional["ScalarEngine"] = None
         if use_compiled:
+            # Imported here, not at module top: repro.sim.kernel imports
+            # repro.netlist.module, so a top-level import would make
+            # ``import repro.sim`` fail depending on which package is
+            # imported first.
+            from repro.sim.kernel import CompiledNetlist, ScalarEngine
+
             self._compiled = CompiledNetlist(self.module)
             self._engine = ScalarEngine(
                 self._compiled, self.values, self.state, settle_limit

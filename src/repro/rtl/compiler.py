@@ -59,6 +59,10 @@ class CompiledMachine:
     dff_count: int
     transistor_estimate: int
     warnings: List[str] = field(default_factory=list)
+    #: Source statements that assign each signal, in elaboration order —
+    #: the map static timing uses to trace a register-to-register path
+    #: back to the transfers that created its logic.
+    register_writers: Dict[str, List[Statement]] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, int]:
         return {
@@ -81,6 +85,8 @@ class RtlCompiler:
         self._env: Dict[str, Bits] = {}
         # Next-cycle value of registers / memory words.
         self._next: Dict[str, Bits] = {}
+        # Which source statements wrote each signal (for timing reports).
+        self._writers: Dict[str, List[Statement]] = {}
 
     # -- public API -----------------------------------------------------------------
 
@@ -99,6 +105,8 @@ class RtlCompiler:
             dff_count=dff_count,
             transistor_estimate=module.transistor_estimate(),
             warnings=list(self.warnings),
+            register_writers={name: list(statements)
+                              for name, statements in self._writers.items()},
         )
 
     # -- declaration handling ------------------------------------------------------------
@@ -195,11 +203,17 @@ class RtlCompiler:
         self.module.add_gate(GateType.AND, combined, [outer, inner])
         return combined
 
+    def _record_writer(self, name: str, assignment: Assignment) -> None:
+        # Each statement elaborates exactly once, so plain append keeps
+        # every occurrence (and stays O(1) per record).
+        self._writers.setdefault(name, []).append(assignment)
+
     def _elaborate_assignment(self, assignment: Assignment, condition: Optional[str]) -> None:
         value_bits = self._eval(assignment.value)
         target = assignment.target
 
         if isinstance(target, MemoryAccess):
+            self._record_writer(target.memory, assignment)
             self._assign_memory(target, value_bits, condition, assignment.clocked)
             return
 
@@ -208,6 +222,7 @@ class RtlCompiler:
             if not isinstance(base, Identifier):
                 raise ValueError("bit-select assignment target must be a plain name")
             name = base.name
+            self._record_writer(name, assignment)
             declaration = self.machine.declaration(name)
             width = declaration.width
             full = list(self._next[name] if assignment.clocked and name in self._next
@@ -220,6 +235,7 @@ class RtlCompiler:
             return
 
         name = target.name
+        self._record_writer(name, assignment)
         declaration = self.machine.declaration(name)
         self._store(name, self._resize(value_bits, declaration.width), condition,
                     assignment.clocked, declaration.width)

@@ -68,6 +68,15 @@ _CMOS_PROPERTIES = {
     "sheet_resistance_metal": 0.05,
     "gate_capacitance_per_sq_lambda": 0.008,
     "inverter_pair_delay_ns": 10.0,
+    # Parasitic extraction / static timing parameters (era-scale estimates).
+    "area_cap_ff_per_sq_lambda_diffusion": 0.6,
+    "area_cap_ff_per_sq_lambda_poly": 0.35,
+    "area_cap_ff_per_sq_lambda_metal": 0.25,
+    "fringe_cap_ff_per_lambda": 0.08,
+    "gate_cap_ff_per_sq_lambda": 1.6,
+    "pullup_resistance_ohm": 12000.0,
+    "pulldown_resistance_ohm": 8000.0,
+    "pass_resistance_ohm": 10000.0,
 }
 
 

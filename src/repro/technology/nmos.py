@@ -76,6 +76,17 @@ _NMOS_PROPERTIES = {
     "inverter_pair_delay_ns": 30.0,       # nominal 1979-era pair delay
     "pullup_pulldown_ratio": 4.0,         # k ratio for restoring logic (ground inputs)
     "pass_gate_ratio": 8.0,               # k ratio when driven through pass transistors
+    # Parasitic extraction / static timing parameters (era-scale, not
+    # calibrated to a specific 1979 process run; only ratios between designs
+    # compiled in the same technology are meaningful).
+    "area_cap_ff_per_sq_lambda_diffusion": 1.0,   # junction capacitance
+    "area_cap_ff_per_sq_lambda_poly": 0.45,
+    "area_cap_ff_per_sq_lambda_metal": 0.3,
+    "fringe_cap_ff_per_lambda": 0.1,      # perimeter (fringe) capacitance
+    "gate_cap_ff_per_sq_lambda": 2.8,     # thin-oxide capacitance over channels
+    "pullup_resistance_ohm": 40000.0,     # depletion load, on
+    "pulldown_resistance_ohm": 10000.0,   # enhancement device, on
+    "pass_resistance_ohm": 15000.0,       # pass-transistor channel
 }
 
 

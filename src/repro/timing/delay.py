@@ -1,0 +1,103 @@
+"""Delay models for static timing analysis.
+
+Two models, one per abstraction level:
+
+* :class:`GateDelayModel` prices the arcs of a gate-level timing graph
+  (:mod:`repro.timing.graph`): a per-opcode intrinsic stage delay derived
+  from the technology's inverter pair delay, a fan-in penalty (series
+  stacks get slower), a fanout penalty (each driven gate adds load), and an
+  optional extracted-capacitance term for nets with annotated parasitics.
+* :class:`SwitchDelayModel` prices the stages of a switch-level timing
+  graph (:mod:`repro.timing.switch`): the ratioed-NMOS worst transition of
+  a node is its pull resistance (depletion load for restoring stages, the
+  channel for pass stages) plus the net's lumped wire resistance, times
+  everything the stage must charge.
+
+Both are deterministic pure functions of their arguments, which is what
+lets the differential suite compare cold, warm and incremental runs for
+exact equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.technology.technology import Technology
+from repro.timing.parasitics import NetParasitics, ParasiticModel, rc_ns
+
+# Opcode constants mirrored from repro.sim.kernel (imported there; kept in
+# sync by the kernel's _OPCODE_OF table which both modules consume).
+from repro.sim.kernel import (
+    OP_AND, OP_BUF, OP_CONST0, OP_CONST1, OP_LATCH, OP_MUX2, OP_NAND,
+    OP_NOR, OP_NOT, OP_OR, OP_XNOR, OP_XOR,
+)
+
+#: Relative intrinsic cost of each opcode in inverter-stage units: a NAND
+#: is one restoring stage, AND is NAND plus an inverter, XOR is the classic
+#: four-gate network, constants are free.
+_STAGE_FACTOR: Dict[int, float] = {
+    OP_NOT: 1.0,
+    OP_BUF: 2.0,
+    OP_NAND: 1.0,
+    OP_NOR: 1.0,
+    OP_AND: 2.0,
+    OP_OR: 2.0,
+    OP_XOR: 2.5,
+    OP_XNOR: 2.5,
+    OP_MUX2: 1.5,
+    OP_LATCH: 1.5,
+    OP_CONST0: 0.0,
+    OP_CONST1: 0.0,
+}
+
+
+class GateDelayModel:
+    """Load-dependent gate delays for the compiled-netlist timing graph."""
+
+    def __init__(self, technology: Optional[Technology] = None,
+                 pair_delay_ns: Optional[float] = None):
+        if pair_delay_ns is None:
+            pair_delay_ns = (technology.property("inverter_pair_delay_ns", 30.0)
+                             if technology is not None else 30.0)
+        #: One restoring stage: half an inverter pair.
+        self.stage_ns = pair_delay_ns / 2.0
+        #: Each input beyond the second deepens the series stack.
+        self.fan_in_penalty_ns = self.stage_ns * 0.15
+        #: Each fanout adds one gate load to the driving stage.
+        self.fanout_penalty_ns = self.stage_ns * 0.10
+        #: Extracted capacitance term: charge through a restoring pull-up.
+        pullup = (technology.property("pullup_resistance_ohm", 40000.0)
+                  if technology is not None else 40000.0)
+        self.ns_per_ff = rc_ns(pullup, 1.0)
+
+    def arc_delay(self, op: int, fan_in: int, fanout: int,
+                  load_ff: float = 0.0) -> float:
+        factor = _STAGE_FACTOR.get(op, 1.0)
+        if factor == 0.0:
+            return 0.0
+        delay = factor * self.stage_ns
+        if fan_in > 2:
+            delay += (fan_in - 2) * self.fan_in_penalty_ns
+        if fanout > 1:
+            delay += (fanout - 1) * self.fanout_penalty_ns
+        if load_ff:
+            delay += load_ff * self.ns_per_ff
+        return delay
+
+
+class SwitchDelayModel:
+    """Ratioed-NMOS stage delays for switch-level (extracted) timing."""
+
+    def __init__(self, technology: Technology):
+        self.model = ParasiticModel(technology)
+
+    def stage_delay_ns(self, parasitics: NetParasitics, restoring: bool) -> float:
+        """Worst transition of a driven node.
+
+        A *restoring* node (one with a depletion pull-up) is limited by the
+        weak load charging the node; a pass-gate node by its channel.  The
+        node's own lumped wire resistance rides on top either way.
+        """
+        pull = (self.model.pullup_res_ohm if restoring
+                else self.model.pass_res_ohm)
+        return rc_ns(pull + parasitics.wire_res_ohm, parasitics.total_cap_ff)

@@ -1,0 +1,389 @@
+"""Switch-level static timing of extracted transistor networks.
+
+Layout verification runs on the extracted :class:`SwitchNetwork`, so
+chip-level timing must too: there is no gate netlist for a full chip, only
+the transistors the extractor recovered and the parasitics annotated on
+their nodes (:mod:`repro.timing.parasitics`).  The model is the ratioed
+NMOS one the switch simulator uses, priced instead of evaluated:
+
+* a node with a depletion pull-up to VDD is a **restoring stage**; its
+  worst transition is the weak pull-up charging the node's total
+  capacitance (plus the node's lumped wire resistance — the Elmore term);
+* any other driven node is a **pass stage**, charged through a channel;
+* an enhancement transistor's gate *causes* transitions on its channel
+  terminals (arc gate -> source/drain), and a conducting channel
+  *propagates* transitions between its terminals (arcs source <-> drain).
+
+The graph is structured the way classic switch-level timing analyzers
+structured it:
+
+1. Non-supply nodes are partitioned into **channel-connected
+   components** (CCCs) — nodes joined by any transistor channel.  A CCC
+   is the electrical unit that transitions together when a gate inside
+   it switches: an inverter output is a one-node CCC, a NAND output
+   plus its stack nodes is one CCC, a pass-transistor chain is one CCC.
+2. A CCC's **traversal cost** is the *sum* of its member nodes' stage
+   delays (restoring nodes charge through the pull-up, the rest through
+   a channel, each with its lumped wire resistance) — the lumped stand-
+   in for the Elmore ladder through the stack, and monotonic: adding
+   geometry or members never makes a CCC faster.
+3. Signal flow arcs run **gate -> driven CCC** only.  Channel arcs
+   never leave a CCC by construction, so the flow graph is cyclic
+   exactly where the circuit has *gate feedback* — the cross-coupled
+   pair inside every register, FSM state loops.  Those cycles are
+   condensed (iterative Tarjan) and each loop is traversed once (the
+   sum of its member CCC costs), the loop-breaking-at-registers
+   convention of synchronous timing analysis; the condensed loop count
+   is reported so unexpected feedback is visible.
+
+Everything is a deterministic pure function of the extracted circuit, so
+two runs over byte-identical netlists produce float-identical timing —
+the property the incremental differential suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.switch_sim import GND, VDD, TransistorKind
+
+if TYPE_CHECKING:   # import cycle: the extractor annotates with our parasitics
+    from repro.extract.extractor import ExtractedCircuit
+from repro.technology.technology import Technology
+from repro.timing.delay import SwitchDelayModel
+from repro.timing.graph import PathStep, TimingPath
+from repro.timing.parasitics import NetParasitics
+
+_SUPPLIES = (VDD, GND)
+
+
+@dataclass
+class BlockTiming:
+    """The cached timing artifact of one cell/block."""
+
+    name: str
+    node_count: int = 0
+    device_count: int = 0
+    restoring_stages: int = 0
+    loops_broken: int = 0
+    total_cap_ff: float = 0.0
+    worst_delay_ns: float = 0.0
+    critical_path: Optional[TimingPath] = None
+    #: Capture-point arrivals (declared outputs plus driven sinks).
+    endpoint_arrivals: Dict[str, float] = field(default_factory=dict)
+    #: Worst path delay launched from each declared input pin.
+    input_depth_ns: Dict[str, float] = field(default_factory=dict)
+    #: Worst arrival at each declared output pin.
+    output_arrival_ns: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Cycle-rate estimate: one worst path per clock period."""
+        if self.worst_delay_ns <= 0.0:
+            return 0.0
+        return 1000.0 / self.worst_delay_ns
+
+    def slacks_ns(self, clock_ns: Optional[float] = None) -> List[float]:
+        """Endpoint slacks against a clock (default: the critical period)."""
+        period = self.worst_delay_ns if clock_ns is None else clock_ns
+        return [period - arrival
+                for arrival in self.endpoint_arrivals.values()]
+
+    def meets(self, clock_ns: float) -> bool:
+        return self.worst_delay_ns <= clock_ns
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "nodes": self.node_count,
+            "devices": self.device_count,
+            "worst_delay_ns": round(self.worst_delay_ns, 4),
+            "max_frequency_mhz": round(self.max_frequency_mhz, 4),
+            "loops_broken": self.loops_broken,
+        }
+
+
+class SwitchTimingAnalyzer:
+    """Price and traverse the stage graph of an extracted circuit."""
+
+    def __init__(self, technology: Technology):
+        self.technology = technology
+        self.delay_model = SwitchDelayModel(technology)
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze(self, circuit: "ExtractedCircuit",
+                parasitics: Optional[Dict[str, NetParasitics]] = None
+                ) -> BlockTiming:
+        parasitics = parasitics if parasitics is not None else circuit.parasitics
+        network = circuit.network
+        names = sorted(name for name in
+                       set(parasitics) | set(network.nodes())
+                       if name not in _SUPPLIES)
+        index = {name: i for i, name in enumerate(names)}
+        count = len(names)
+        empty = NetParasitics("")
+
+        def para(name: str) -> NetParasitics:
+            return parasitics.get(name, empty)
+
+        # Restoring stages: nodes held up by a depletion load on VDD.
+        restoring: Set[int] = set()
+        for device in network.transistors:
+            if device.kind is TransistorKind.DEPLETION:
+                if device.source == VDD and device.drain in index:
+                    restoring.add(index[device.drain])
+                if device.drain == VDD and device.source in index:
+                    restoring.add(index[device.source])
+
+        # 1. Channel-connected components over the non-supply nodes.
+        finder = list(range(count))
+
+        def find(node: int) -> int:
+            root = node
+            while finder[root] != root:
+                root = finder[root]
+            while finder[node] != root:
+                finder[node], node = root, finder[node]
+            return root
+
+        for device in network.transistors:
+            s = index.get(device.source)
+            d = index.get(device.drain)
+            if s is not None and d is not None and s != d:
+                finder[find(s)] = find(d)
+
+        ccc_of: List[int] = [-1] * count
+        ccc_members: List[List[int]] = []
+        for node in range(count):          # node order: deterministic ids
+            root = find(node)
+            if ccc_of[root] == -1:
+                ccc_of[root] = len(ccc_members)
+                ccc_members.append([])
+            ccc_of[node] = ccc_of[root]
+            ccc_members[ccc_of[node]].append(node)
+
+        # 2. Traversal cost of each CCC: the sum of its member stages.
+        model = self.delay_model
+        weight = [0.0] * len(ccc_members)
+        for ccc, members in enumerate(ccc_members):
+            weight[ccc] = sum(
+                model.stage_delay_ns(para(names[node]), node in restoring)
+                for node in members)
+
+        # 3. Signal flow arcs: gate -> the CCC its channel drives.
+        arcs: List[List[Tuple[int, float, str]]] = [
+            [] for _ in range(len(ccc_members))]
+        arc_seen: Set[Tuple[int, int]] = set()
+        for device in network.transistors:
+            if device.kind is not TransistorKind.ENHANCEMENT:
+                continue   # depletion loads are priced inside their stage
+            g = index.get(device.gate)
+            if g is None:
+                continue
+            target = index.get(device.drain)
+            if target is None:
+                target = index.get(device.source)
+            if target is None:
+                continue
+            edge = (ccc_of[g], ccc_of[target])
+            if edge not in arc_seen:
+                arc_seen.add(edge)
+                arcs[edge[0]].append((edge[1], 0.0, device.name))
+
+        comp_of, comps = _tarjan_scc(len(ccc_members), arcs)
+        timing = self._condensed_longest_paths(
+            names, index, arcs, ccc_of, ccc_members, weight, comp_of, comps,
+            network)
+        timing.name = circuit.cell_name
+        timing.node_count = count
+        timing.device_count = len(network.transistors)
+        timing.restoring_stages = len(restoring)
+        timing.total_cap_ff = sum(para(name).total_cap_ff for name in names)
+        return timing
+
+    # -- condensation traversal ----------------------------------------------
+
+    def _condensed_longest_paths(self, names: Sequence[str],
+                                 index: Dict[str, int],
+                                 arcs: Sequence[Sequence[Tuple[int, float, str]]],
+                                 ccc_of: Sequence[int],
+                                 ccc_members: Sequence[Sequence[int]],
+                                 weight: Sequence[float],
+                                 comp_of: Sequence[int],
+                                 comps: Sequence[Sequence[int]],
+                                 network) -> BlockTiming:
+        num_comps = len(comps)
+        # Condensed node weight: a feedback loop is traversed once, i.e.
+        # every member CCC transitions once.
+        condensed_weight = [0.0] * num_comps
+        has_self_loop = [False] * num_comps
+        for scc, members in enumerate(comps):
+            condensed_weight[scc] = sum(weight[ccc] for ccc in members)
+        successors: List[Set[int]] = [set() for _ in range(num_comps)]
+        entry_device: Dict[Tuple[int, int], str] = {}
+        indegree = [0] * num_comps
+        for ccc in range(len(ccc_members)):
+            cu = comp_of[ccc]
+            for target, _zero, device in arcs[ccc]:
+                cv = comp_of[target]
+                if cu == cv:
+                    if target == ccc:
+                        has_self_loop[cu] = True
+                    continue
+                if cv not in successors[cu]:
+                    successors[cu].add(cv)
+                    entry_device[(cu, cv)] = device
+                    indegree[cv] += 1
+
+        # Longest path over the condensation (Kahn order): arrivals are
+        # sums of condensed weights along the path, so delay is monotonic
+        # in design content — a chip is never faster than its blocks.
+        arrival = [condensed_weight[c] for c in range(num_comps)]
+        pred: List[Optional[int]] = [None] * num_comps
+        frontier = [c for c in range(num_comps) if indegree[c] == 0]
+        order: List[int] = []
+        while frontier:
+            nxt: List[int] = []
+            for cu in frontier:
+                order.append(cu)
+                for cv in successors[cu]:
+                    total = arrival[cu] + condensed_weight[cv]
+                    if total > arrival[cv]:
+                        arrival[cv] = total
+                        pred[cv] = cu
+                    indegree[cv] -= 1
+                    if indegree[cv] == 0:
+                        nxt.append(cv)
+            frontier = nxt
+
+        # Tail delays (worst remaining path), for per-input depths.
+        tail = [0.0] * num_comps
+        for cu in reversed(order):
+            best = 0.0
+            for cv in successors[cu]:
+                candidate = condensed_weight[cv] + tail[cv]
+                if candidate > best:
+                    best = candidate
+            tail[cu] = best
+
+        timing = BlockTiming(name="")
+        timing.loops_broken = sum(
+            1 for scc in range(num_comps)
+            if len(comps[scc]) > 1 or has_self_loop[scc])
+
+        sinks = [c for c in range(num_comps) if not successors[c]]
+        endpoint_arrivals: Dict[str, float] = {}
+        for out_name in network.outputs:
+            node = index.get(out_name)
+            if node is not None:
+                endpoint_arrivals[out_name] = arrival[comp_of[ccc_of[node]]]
+        for scc in sinks:
+            if arrival[scc] <= 0.0:
+                continue
+            representative = names[min(min(ccc_members[ccc])
+                                       for ccc in comps[scc])]
+            endpoint_arrivals.setdefault(representative, arrival[scc])
+        timing.endpoint_arrivals = dict(sorted(endpoint_arrivals.items()))
+
+        for in_name in network.inputs:
+            node = index.get(in_name)
+            if node is not None:
+                scc = comp_of[ccc_of[node]]
+                timing.input_depth_ns[in_name] = (condensed_weight[scc]
+                                                  + tail[scc])
+        for out_name in network.outputs:
+            node = index.get(out_name)
+            if node is not None:
+                timing.output_arrival_ns[out_name] = arrival[
+                    comp_of[ccc_of[node]]]
+
+        if endpoint_arrivals:
+            end_name = max(endpoint_arrivals, key=lambda n: endpoint_arrivals[n])
+            timing.worst_delay_ns = endpoint_arrivals[end_name]
+            end_node = index.get(end_name)
+            if end_node is not None:
+                timing.critical_path = self._backtrack(
+                    names, ccc_members, condensed_weight, comps, pred,
+                    entry_device, arrival, comp_of[ccc_of[end_node]])
+        return timing
+
+    @staticmethod
+    def _backtrack(names, ccc_members, condensed_weight, comps, pred,
+                   entry_device, arrival, end_scc: int) -> TimingPath:
+        chain: List[int] = [end_scc]
+        while pred[chain[-1]] is not None:
+            chain.append(pred[chain[-1]])
+        chain.reverse()
+
+        def representative(scc: int) -> str:
+            return names[min(min(ccc_members[ccc]) for ccc in comps[scc])]
+
+        steps = [PathStep(None, representative(chain[0]),
+                          condensed_weight[chain[0]])]
+        at = condensed_weight[chain[0]]
+        for previous, scc in zip(chain, chain[1:]):
+            at += condensed_weight[scc]
+            steps.append(PathStep(entry_device[(previous, scc)],
+                                  representative(scc), at))
+        return TimingPath(arrival[end_scc], steps)
+
+
+def _tarjan_scc(count: int,
+                arcs: Sequence[Sequence[Tuple[int, float, str]]]
+                ) -> Tuple[List[int], List[List[int]]]:
+    """Iterative Tarjan: (component id per node, members per component).
+
+    Component ids are assigned in discovery completion order (reverse
+    topological order of the condensation); membership lists are sorted so
+    the partition is deterministic for a given arc construction order.
+    """
+    index_of = [-1] * count
+    low = [0] * count
+    on_stack = [False] * count
+    stack: List[int] = []
+    comp_of = [-1] * count
+    comps: List[List[int]] = []
+    counter = 0
+    for root in range(count):
+        if index_of[root] != -1:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            targets = arcs[node]
+            while edge_pos < len(targets):
+                target = targets[edge_pos][0]
+                edge_pos += 1
+                if index_of[target] == -1:
+                    work[-1] = (node, edge_pos)
+                    work.append((target, 0))
+                    advanced = True
+                    break
+                if on_stack[target] and low[target] < low[node]:
+                    low[node] = low[target]
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                members: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp_of[member] = len(comps)
+                    members.append(member)
+                    if member == node:
+                        break
+                members.sort()
+                comps.append(members)
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+    return comp_of, comps
