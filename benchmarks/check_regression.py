@@ -4,6 +4,10 @@ Usage::
 
     python benchmarks/check_regression.py BASELINE.json CURRENT.json [FACTOR]
 
+Either argument may also be a bare experiment id (``e13``), which resolves
+to its ``BENCH_<id>.json`` in the results directory via
+:mod:`benchmarks.paths`.
+
 Compares every ``*speedup*`` field of a freshly measured bench JSON
 against the committed baseline and exits non-zero if any fell by more
 than ``FACTOR`` (default 2.0).  Speedup ratios are compared rather than
@@ -13,14 +17,19 @@ denominator together, so the guard stays meaningful across machines.
 """
 
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from paths import bench_result_path  # noqa: E402
 
 
 def main(argv) -> int:
     if len(argv) < 3:
         print(__doc__)
         return 2
-    baseline_path, current_path = argv[1], argv[2]
+    baseline_path = bench_result_path(argv[1])
+    current_path = bench_result_path(argv[2])
     factor = float(argv[3]) if len(argv) > 3 else 2.0
 
     with open(baseline_path) as handle:

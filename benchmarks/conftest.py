@@ -12,12 +12,18 @@ PRs by diffing small JSON files instead of parsing benchmark logs.
 
 import json
 import os
+import sys
 
 import pytest
 
 from repro.technology import nmos_technology
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from paths import bench_result_path, ensure_results_dir, results_dir  # noqa: E402
+
+#: Kept as a module attribute for existing importers; resolved through
+#: :mod:`benchmarks.paths` so the location is defined exactly once.
+RESULTS_DIR = results_dir()
 
 
 @pytest.fixture(scope="session")
@@ -57,8 +63,8 @@ def record_bench(experiment: str, benchmark=None, **fields) -> str:
     if wall is not None:
         payload["wall_time_s"] = round(wall, 4)
     payload.update(fields)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
+    ensure_results_dir()
+    path = bench_result_path(experiment)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

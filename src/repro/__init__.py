@@ -14,6 +14,17 @@ quickstart and DESIGN.md for the system inventory.
 
 __version__ = "0.1.0"
 
+from repro.diagnostics import (
+    Budget,
+    BudgetExceeded,
+    Diagnostic,
+    DiagnosticCollector,
+    DiagnosticError,
+    Severity,
+    SourceSpan,
+    configure_logging,
+    strict_mode,
+)
 from repro.geometry import Point, Rect, Polygon, Path, Transform, Orientation
 from repro.technology import Technology, nmos_technology, cmos_technology, NMOS, CMOS
 from repro.layout import Cell, Library, Port, flatten_cell, cell_statistics
@@ -21,6 +32,15 @@ from repro.cif import write_cif, parse_cif, cell_to_cif
 
 __all__ = [
     "__version__",
+    "Budget",
+    "BudgetExceeded",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "DiagnosticError",
+    "Severity",
+    "SourceSpan",
+    "configure_logging",
+    "strict_mode",
     "Point",
     "Rect",
     "Polygon",

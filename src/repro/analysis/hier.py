@@ -48,6 +48,7 @@ import weakref
 from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.erc.checker import ErcChecker, ErcReport
 from repro.drc.checker import (
     DrcViolation,
     enclosure_violation,
@@ -386,7 +387,8 @@ class HierAnalyzer:
         self._cache = weakref.WeakKeyDictionary()
         self.stats = {"views": 0, "drc_artifacts": 0, "extract_artifacts": 0,
                       "drc_hits": 0, "extract_hits": 0,
-                      "timing_artifacts": 0, "timing_hits": 0}
+                      "timing_artifacts": 0, "timing_hits": 0,
+                      "erc_artifacts": 0, "erc_hits": 0}
 
     # -- public API ---------------------------------------------------------
 
@@ -428,6 +430,30 @@ class HierAnalyzer:
             cell, self._extract_artifact(cell, orientation))
         timing = SwitchTimingAnalyzer(self.technology).analyze(circuit)
         return self._store("timing", cell, orientation, timing)
+
+    def erc(self, cell: Cell) -> ErcReport:
+        """Electrical rule check of the cell's extracted circuit, cached.
+
+        Artifacts follow the timing pattern: cached per ``(cell, mutation
+        version, orientation)``, children prewarmed first so a family of
+        chips shares every generator block's report, and the result is a
+        pure function of the composed extracted circuit.
+        """
+        return self._erc_artifact(cell, Orientation.R0)
+
+    def _erc_artifact(self, cell: Cell, orientation: Orientation) -> ErcReport:
+        hit = self._cached("erc", cell, orientation)
+        if hit is not None:
+            self.stats["erc_hits"] += 1
+            return hit
+        self.stats["erc_artifacts"] += 1
+        view = self._view(cell, orientation)
+        for source in view.sources[1:]:
+            self._erc_artifact(source.cell, source.orientation)
+        circuit = self._finish_extract(
+            cell, self._extract_artifact(cell, orientation))
+        report = ErcChecker().check_circuit(circuit)
+        return self._store("erc", cell, orientation, report)
 
     def measure(self, cell: Cell) -> DesignMetrics:
         """Design metrics, identical to :func:`repro.metrics.measure_cell`."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.diagnostics import Budget
 from repro.geometry.point import Point
 from repro.layout.cell import Cell
 
@@ -62,11 +63,16 @@ class ChannelRouter:
     """Route a single horizontal channel with the left-edge algorithm."""
 
     def __init__(self, layer_horizontal: str = "metal", layer_vertical: str = "poly",
-                 wire_width: int = 3, track_pitch: int = 7):
+                 wire_width: int = 3, track_pitch: int = 7,
+                 max_steps: Optional[int] = 1_000_000):
         self.layer_horizontal = layer_horizontal
         self.layer_vertical = layer_vertical
         self.wire_width = wire_width
         self.track_pitch = track_pitch
+        #: Budget on track-scan steps (the quadratic part of left-edge
+        #: packing); an adversarial net list terminates with
+        #: :class:`~repro.diagnostics.BudgetExceeded` instead of crawling.
+        self.max_steps = max_steps
 
     def route(self, cell: Cell, nets: Sequence[ChannelNet],
               bottom_y: int, top_y: Optional[int] = None) -> ChannelResult:
@@ -79,12 +85,15 @@ class ChannelRouter:
             net.validate()
 
         # Left-edge track assignment.
+        budget = Budget(iterations=self.max_steps, label="channel routing",
+                        code="ROU001")
         ordered = sorted(nets, key=lambda net: (net.left, net.right))
         track_right_edge: List[int] = []      # rightmost x occupied per track
         track_of_net: Dict[str, int] = {}
         for net in ordered:
             placed = False
             for track_index, right_edge in enumerate(track_right_edge):
+                budget.tick("channel routing exceeded its track-scan budget")
                 if net.left > right_edge:
                     track_right_edge[track_index] = net.right
                     track_of_net[net.name] = track_index

@@ -93,10 +93,20 @@ class SignOffReport:
     circuit: Optional[object] = None
     metrics: Optional[object] = None
     timing: Optional[ChipTimingReport] = None
+    #: Electrical rule check of the extracted chip (an
+    #: :class:`repro.erc.ErcReport`); ``None`` only on reports built by
+    #: hand without running :meth:`ChipAssembler.sign_off`.
+    erc: Optional[object] = None
 
     @property
     def clean(self) -> bool:
+        """No DRC violations (the historical meaning; ERC has its own)."""
         return not self.violations
+
+    @property
+    def erc_clean(self) -> bool:
+        """No error-severity electrical rule violations."""
+        return self.erc is None or self.erc.clean
 
     @property
     def max_frequency_mhz(self) -> float:
@@ -265,6 +275,7 @@ class ChipAssembler:
             circuit=analyzer.extract(self._chip),
             metrics=analyzer.measure(self._chip),
             timing=self._timing_report(analyzer),
+            erc=analyzer.erc(self._chip),
         )
 
     def _timing_report(self, analyzer) -> ChipTimingReport:

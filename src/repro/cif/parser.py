@@ -8,13 +8,34 @@ name and ``94`` label user extensions, and the terminating ``E``.
 
 The parser rebuilds a :class:`~repro.layout.library.Library`; geometry
 emitted with the writer's default scale convention round-trips exactly.
+
+Error handling comes in two modes:
+
+* **raising** (the default, no collector): the first malformed command
+  raises :class:`CifSyntaxError` — now carrying a typed
+  :class:`~repro.diagnostics.Diagnostic` with a stable ``CIF0xx`` code and
+  a :class:`~repro.diagnostics.SourceSpan` locating the offending command;
+* **recovering** (pass a :class:`~repro.diagnostics.DiagnosticCollector`):
+  the parser resynchronizes at the next statement boundary (CIF commands
+  are semicolon-terminated), **poisons** the symbol definition containing
+  the error (it is dropped from the result, and calls to it are skipped
+  with a warning), and returns the partial library together with every
+  diagnostic found — so one bad cell no longer destroys a whole-chip read.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_right
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    DiagnosticError,
+    Severity,
+    SourceSpan,
+)
 from repro.geometry.path import Path
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -27,8 +48,14 @@ from repro.technology.technology import Technology
 from repro.technology.nmos import NMOS
 
 
-class CifSyntaxError(ValueError):
-    """Raised when CIF text cannot be parsed."""
+class CifSyntaxError(DiagnosticError, ValueError):
+    """Raised when CIF text cannot be parsed (raising mode only)."""
+
+    default_code = "CIF000"
+
+
+class _Recover(Exception):
+    """Internal resynchronization signal (recovering mode only)."""
 
 
 _ROTATION_TO_ORIENTATION = {
@@ -40,23 +67,49 @@ _ROTATION_TO_ORIENTATION = {
 
 
 def _strip_comments(text: str) -> str:
-    """Remove parenthesised comments (CIF comments do not nest per the spec)."""
-    return re.sub(r"\([^)]*\)", " ", text)
+    """Blank parenthesised comments, preserving offsets and newlines."""
+    return re.sub(r"\([^)]*\)",
+                  lambda m: re.sub(r"[^\n]", " ", m.group()), text)
 
 
-def _split_commands(text: str) -> List[str]:
-    """Split on semicolons; CIF commands are semicolon terminated."""
-    return [command.strip() for command in text.split(";")]
+class _Command:
+    """One semicolon-terminated command with its source location."""
+
+    __slots__ = ("text", "span")
+
+    def __init__(self, text: str, span: SourceSpan):
+        self.text = text
+        self.span = span
 
 
-def _ints(parts: List[str]) -> List[int]:
-    values = []
-    for part in parts:
-        try:
-            values.append(int(part))
-        except ValueError as exc:
-            raise CifSyntaxError(f"expected integer, got {part!r}") from exc
-    return values
+def _scan_commands(text: str) -> List[_Command]:
+    """Split comment-stripped text on semicolons, keeping source spans."""
+    stripped = _strip_comments(text)
+    line_starts = [0]
+    for index, char in enumerate(stripped):
+        if char == "\n":
+            line_starts.append(index + 1)
+
+    def locate(offset: int) -> Tuple[int, int]:
+        line_index = bisect_right(line_starts, offset) - 1
+        return line_index + 1, offset - line_starts[line_index] + 1
+
+    commands: List[_Command] = []
+    offset = 0
+    for chunk in stripped.split(";"):
+        body = chunk.strip()
+        if body:
+            start = offset + len(chunk) - len(chunk.lstrip())
+            end = start + len(body) - 1
+            line, column = locate(start)
+            end_line, end_column = locate(end)
+            span = SourceSpan(line, column, end_line, end_column)
+        else:
+            line, column = locate(offset)
+            span = SourceSpan(line, column)
+        commands.append(_Command(body, span))
+        offset += len(chunk) + 1
+    return commands
 
 
 class CifParser:
@@ -65,138 +118,298 @@ class CifParser:
     def __init__(self, technology: Optional[Technology] = None):
         self.technology = technology if technology is not None else NMOS
 
-    def parse(self, text: str, library_name: str = "parsed") -> Library:
+    def parse(self, text: str, library_name: str = "parsed",
+              collector: Optional[DiagnosticCollector] = None) -> Library:
+        """Parse ``text``; with a ``collector``, recover instead of raising."""
+        return _Run(self.technology, collector).parse(text, library_name)
+
+    # Back-compat shims: helpers that used to live on the parser.
+
+    def _resolve_layer(self, cif_name: str) -> str:
+        layer = self.technology.layers.by_cif_name(cif_name)
+        if layer is not None:
+            return layer.name
+        return cif_name
+
+
+class _Run:
+    """One parse: holds the per-parse state and the error policy."""
+
+    def __init__(self, technology: Technology,
+                 collector: Optional[DiagnosticCollector]):
+        self.technology = technology
+        self.collector = collector
+        self.recovering = collector is not None
+        self.cells_by_id: Dict[int, Cell] = {}
+        self.poisoned: Set[int] = set()
+        self.deferred_calls: List[Tuple[Cell, Optional[int], int, Transform]] = []
+        self.top_level_calls: List[Tuple[int, Transform, SourceSpan]] = []
+        self.current_cell: Optional[Cell] = None
+        self.current_id: Optional[int] = None
+        self.current_layer: str = ""
+        self.span: SourceSpan = SourceSpan(1, 1)
+
+    # -- error policy -------------------------------------------------------
+
+    def error(self, code: str, message: str,
+              span: Optional[SourceSpan] = None,
+              hint: Optional[str] = None) -> "Exception":
+        """Report one error: raise (default) or record, poison and resync."""
+        diagnostic = Diagnostic(Severity.ERROR, code, message,
+                                span or self.span, hint, "cif")
+        if not self.recovering:
+            raise CifSyntaxError(message, diagnostic)
+        self.collector.add(diagnostic)
+        self._poison_current()
+        raise _Recover()
+
+    def warn(self, code: str, message: str,
+             span: Optional[SourceSpan] = None) -> None:
+        diagnostic = Diagnostic(Severity.WARNING, code, message,
+                                span or self.span, None, "cif")
+        if self.recovering:
+            self.collector.add(diagnostic)
+
+    def _poison_current(self) -> None:
+        if self.current_id is not None:
+            self.poisoned.add(self.current_id)
+
+    # -- main loop ----------------------------------------------------------
+
+    def parse(self, text: str, library_name: str) -> Library:
         library = Library(library_name, self.technology)
-        commands = _split_commands(_strip_comments(text))
-
-        cells_by_id: Dict[int, Cell] = {}
-        deferred_calls: List[Tuple[Cell, int, Transform]] = []
-        top_level_calls: List[Tuple[int, Transform]] = []
-
-        current_cell: Optional[Cell] = None
-        current_id: Optional[int] = None
-        current_layer: str = ""
-        anonymous_counter = 0
         ended = False
-
-        for raw in commands:
+        for command in _scan_commands(text):
+            raw = command.text
             if not raw or ended:
                 if raw and ended:
                     break
                 continue
-            command, args = self._split_command(raw)
-
-            if command == "DS":
-                if current_cell is not None:
-                    raise CifSyntaxError("nested DS without DF")
-                values = _ints(args)
-                if not values:
-                    raise CifSyntaxError("DS requires a symbol number")
-                current_id = values[0]
-                anonymous_counter += 1
-                current_cell = Cell(f"symbol_{current_id}")
-                current_layer = ""
-            elif command == "DF":
-                if current_cell is None:
-                    raise CifSyntaxError("DF without matching DS")
-                cells_by_id[current_id] = current_cell
-                current_cell = None
-                current_id = None
-            elif command == "9":
-                if current_cell is None:
-                    raise CifSyntaxError("symbol name (9) outside a symbol definition")
-                if args:
-                    current_cell.name = args[0]
-            elif command == "94":
-                if current_cell is None:
-                    continue
-                if len(args) < 3:
-                    raise CifSyntaxError(f"malformed label command: {raw!r}")
-                label_text = args[0]
-                x, y = _ints(args[1:3])
-                layer_arg = args[3] if len(args) > 3 else ""
-                layer_name = self._resolve_layer(layer_arg) if layer_arg else ""
-                current_cell.add_label(label_text, Point(x, y), layer_name)
-            elif command == "L":
-                if not args:
-                    raise CifSyntaxError("L command requires a layer name")
-                current_layer = self._resolve_layer(args[0])
-            elif command == "B":
-                self._require_cell(current_cell, raw)
-                self._parse_box(current_cell, current_layer, args, raw)
-            elif command == "P":
-                self._require_cell(current_cell, raw)
-                values = _ints(args)
-                if len(values) < 6 or len(values) % 2:
-                    raise CifSyntaxError(f"malformed polygon: {raw!r}")
-                points = [Point(values[i], values[i + 1]) for i in range(0, len(values), 2)]
-                current_cell.add_shape(Shape(current_layer, Polygon(points)))
-            elif command == "W":
-                self._require_cell(current_cell, raw)
-                values = _ints(args)
-                if len(values) < 5 or (len(values) - 1) % 2:
-                    raise CifSyntaxError(f"malformed wire: {raw!r}")
-                width = values[0]
-                points = [Point(values[i], values[i + 1]) for i in range(1, len(values), 2)]
-                current_cell.add_shape(Shape(current_layer, Path(points, width)))
-            elif command == "R":
-                # Round flash: approximate as a square box of the same diameter.
-                self._require_cell(current_cell, raw)
-                values = _ints(args)
-                if len(values) != 3:
-                    raise CifSyntaxError(f"malformed round flash: {raw!r}")
-                diameter, cx, cy = values
-                half = diameter // 2
-                rect = Rect(cx - half, cy - half, cx - half + diameter, cy - half + diameter)
-                current_cell.add_shape(Shape(current_layer, rect))
-            elif command == "C":
-                call_id, transform = self._parse_call(args, raw)
-                if current_cell is not None:
-                    deferred_calls.append((current_cell, call_id, transform))
-                else:
-                    top_level_calls.append((call_id, transform))
-            elif command == "E":
-                ended = True
-            elif command == "DD":
-                values = _ints(args)
-                threshold = values[0] if values else 0
-                cells_by_id = {k: v for k, v in cells_by_id.items() if k < threshold}
-            elif command.isdigit():
-                # Unknown user extension: ignored per the CIF specification.
+            self.span = command.span
+            try:
+                ended = self._dispatch(raw)
+            except _Recover:
                 continue
-            else:
-                raise CifSyntaxError(f"unrecognised CIF command: {raw!r}")
-
-        if current_cell is not None:
-            raise CifSyntaxError("unterminated symbol definition (missing DF)")
-        if not ended:
-            raise CifSyntaxError("missing E command at end of CIF file")
-
-        self._link_calls(cells_by_id, deferred_calls)
-        for cell in cells_by_id.values():
+        self._finish(ended)
+        self._link_calls()
+        for cell_id, cell in self.cells_by_id.items():
+            if cell_id in self.poisoned:
+                continue
             if cell.name not in library:
                 library.add_cell(cell)
+        self._materialise_top_calls(library)
+        return library
 
+    def _dispatch(self, raw: str) -> bool:
+        """Process one command; returns True when ``E`` ends the file."""
+        command, args = self._split_command(raw)
+
+        if command == "DS":
+            if self.current_cell is not None:
+                # In recovery, close (and poison) the unterminated symbol so
+                # the new definition can still be read.
+                if self.recovering:
+                    self._poison_current()
+                    self.cells_by_id[self.current_id] = self.current_cell
+                    self.current_cell = None
+                    self.current_id = None
+                    self.warn("CIF002", "nested DS without DF: previous "
+                              "symbol poisoned")
+                else:
+                    self.error("CIF002", "nested DS without DF")
+            values = self._ints(args)
+            if not values:
+                self.error("CIF003", "DS requires a symbol number")
+            self.current_id = values[0]
+            if self.current_id in self.cells_by_id:
+                self.warn("CIF019",
+                          f"symbol {self.current_id} redefined")
+            self.current_cell = Cell(f"symbol_{self.current_id}")
+            self.current_layer = ""
+        elif command == "DF":
+            if self.current_cell is None:
+                self.error("CIF004", "DF without matching DS")
+            self.cells_by_id[self.current_id] = self.current_cell
+            self.current_cell = None
+            self.current_id = None
+        elif command == "9":
+            if self.current_cell is None:
+                self.error("CIF005",
+                           "symbol name (9) outside a symbol definition")
+            if args:
+                self.current_cell.name = args[0]
+        elif command == "94":
+            if self.current_cell is None:
+                return False
+            if len(args) < 3:
+                self.error("CIF006", f"malformed label command: {raw!r}")
+            label_text = args[0]
+            x, y = self._ints(args[1:3])
+            layer_arg = args[3] if len(args) > 3 else ""
+            layer_name = self._resolve_layer(layer_arg) if layer_arg else ""
+            self.current_cell.add_label(label_text, Point(x, y), layer_name)
+        elif command == "L":
+            if not args:
+                self.error("CIF007", "L command requires a layer name")
+            self.current_layer = self._resolve_layer(args[0])
+        elif command == "B":
+            self._require_cell(raw)
+            self._parse_box(args, raw)
+        elif command == "P":
+            self._require_cell(raw)
+            values = self._ints(args)
+            if len(values) < 6 or len(values) % 2:
+                self.error("CIF009", f"malformed polygon: {raw!r}")
+            points = [Point(values[i], values[i + 1])
+                      for i in range(0, len(values), 2)]
+            try:
+                shape = Shape(self.current_layer, Polygon(points))
+            except ValueError as exc:
+                self.error("CIF009", f"malformed polygon: {raw!r} ({exc})")
+            self.current_cell.add_shape(shape)
+        elif command == "W":
+            self._require_cell(raw)
+            values = self._ints(args)
+            if len(values) < 5 or (len(values) - 1) % 2:
+                self.error("CIF010", f"malformed wire: {raw!r}")
+            width = values[0]
+            points = [Point(values[i], values[i + 1])
+                      for i in range(1, len(values), 2)]
+            try:
+                shape = Shape(self.current_layer, Path(points, width))
+            except ValueError as exc:
+                self.error("CIF010", f"malformed wire: {raw!r} ({exc})")
+            self.current_cell.add_shape(shape)
+        elif command == "R":
+            # Round flash: approximate as a square box of the same diameter.
+            self._require_cell(raw)
+            values = self._ints(args)
+            if len(values) != 3:
+                self.error("CIF011", f"malformed round flash: {raw!r}")
+            diameter, cx, cy = values
+            if diameter <= 0:
+                self.error("CIF011",
+                           f"round flash with non-positive diameter: {raw!r}")
+            half = diameter // 2
+            rect = Rect(cx - half, cy - half,
+                        cx - half + diameter, cy - half + diameter)
+            self.current_cell.add_shape(Shape(self.current_layer, rect))
+        elif command == "C":
+            call_id, transform = self._parse_call(args, raw)
+            if self.current_cell is not None:
+                self.deferred_calls.append(
+                    (self.current_cell, self.current_id, call_id, transform))
+            else:
+                self.top_level_calls.append((call_id, transform, self.span))
+        elif command == "E":
+            return True
+        elif command == "DD":
+            values = self._ints(args)
+            threshold = values[0] if values else 0
+            self.cells_by_id = {k: v for k, v in self.cells_by_id.items()
+                                if k < threshold}
+        elif command.isdigit():
+            # Unknown user extension: ignored per the CIF specification.
+            pass
+        else:
+            self.error("CIF014", f"unrecognised CIF command: {raw!r}")
+        return False
+
+    def _finish(self, ended: bool) -> None:
+        if self.current_cell is not None:
+            if self.recovering:
+                self._poison_current()
+                if self.current_id is not None:
+                    self.cells_by_id[self.current_id] = self.current_cell
+                self.collector.add(Diagnostic(
+                    Severity.ERROR, "CIF015",
+                    "unterminated symbol definition (missing DF)",
+                    self.span, "the open symbol was poisoned", "cif"))
+                self.current_cell = None
+                self.current_id = None
+            else:
+                raise CifSyntaxError(
+                    "unterminated symbol definition (missing DF)",
+                    Diagnostic(Severity.ERROR, "CIF015",
+                               "unterminated symbol definition (missing DF)",
+                               self.span, None, "cif"))
+        if not ended:
+            if self.recovering:
+                self.collector.add(Diagnostic(
+                    Severity.ERROR, "CIF016",
+                    "missing E command at end of CIF file",
+                    self.span, "the file may be truncated", "cif"))
+            else:
+                raise CifSyntaxError(
+                    "missing E command at end of CIF file",
+                    Diagnostic(Severity.ERROR, "CIF016",
+                               "missing E command at end of CIF file",
+                               self.span, "the file may be truncated", "cif"))
+
+    # -- linking ------------------------------------------------------------
+
+    def _link_calls(self) -> None:
+        for parent, parent_id, call_id, transform in self.deferred_calls:
+            if parent_id in self.poisoned:
+                continue
+            child = self.cells_by_id.get(call_id)
+            if child is None:
+                if self.recovering:
+                    self.collector.add(Diagnostic(
+                        Severity.ERROR, "CIF017",
+                        f"call to undefined symbol {call_id}",
+                        None, f"instance dropped from {parent.name!r}", "cif"))
+                    continue
+                raise CifSyntaxError(
+                    f"call to undefined symbol {call_id}",
+                    Diagnostic(Severity.ERROR, "CIF017",
+                               f"call to undefined symbol {call_id}",
+                               None, None, "cif"))
+            if call_id in self.poisoned:
+                self.warn("CIF020",
+                          f"call to poisoned symbol {call_id} skipped "
+                          f"in {parent.name!r}", None)
+                continue
+            parent.add_instance(child, transform)
+
+    def _materialise_top_calls(self, library: Library) -> None:
         # Represent top-level calls by a synthetic wrapper only when a call
         # carries a non-identity transform; a plain "C id;" just marks the top.
-        for call_id, transform in top_level_calls:
-            target = cells_by_id.get(call_id)
-            if target is None:
-                raise CifSyntaxError(f"top-level call to undefined symbol {call_id}")
+        for call_id, transform, span in self.top_level_calls:
+            target = self.cells_by_id.get(call_id)
+            if target is None or call_id in self.poisoned:
+                message = (f"top-level call to undefined symbol {call_id}"
+                           if target is None else
+                           f"top-level call to poisoned symbol {call_id}")
+                if self.recovering:
+                    self.collector.add(Diagnostic(
+                        Severity.ERROR, "CIF018", message, span, None, "cif"))
+                    continue
+                raise CifSyntaxError(
+                    message,
+                    Diagnostic(Severity.ERROR, "CIF018", message, span,
+                               None, "cif"))
             if not transform.is_identity:
                 wrapper = library.new_cell(f"top_{target.name}")
                 wrapper.add_instance(target, transform)
-        return library
 
-    # -- helpers ----------------------------------------------------------------
+    # -- helpers ------------------------------------------------------------
 
-    @staticmethod
-    def _split_command(raw: str) -> Tuple[str, List[str]]:
+    def _ints(self, parts: List[str]) -> List[int]:
+        values = []
+        for part in parts:
+            try:
+                values.append(int(part))
+            except ValueError:
+                self.error("CIF001", f"expected integer, got {part!r}")
+        return values
+
+    def _split_command(self, raw: str) -> Tuple[str, List[str]]:
         parts = raw.replace(",", " ").split()
         keyword = parts[0].upper()
         if keyword[0].isdigit() and not keyword.isdigit():
             # e.g. "94label" is not legal in our writer; treat as syntax error.
-            raise CifSyntaxError(f"malformed command: {raw!r}")
+            self.error("CIF021", f"malformed command: {raw!r}")
         if keyword in ("DS", "DF", "DD"):
             return keyword, parts[1:]
         if keyword[0] in "BPWRLCE9":
@@ -207,10 +420,10 @@ class CifParser:
             return keyword, parts[1:]
         return keyword, parts[1:]
 
-    @staticmethod
-    def _require_cell(cell: Optional[Cell], raw: str) -> None:
-        if cell is None:
-            raise CifSyntaxError(f"geometry outside a symbol definition: {raw!r}")
+    def _require_cell(self, raw: str) -> None:
+        if self.current_cell is None:
+            self.error("CIF008",
+                       f"geometry outside a symbol definition: {raw!r}")
 
     def _resolve_layer(self, cif_name: str) -> str:
         layer = self.technology.layers.by_cif_name(cif_name)
@@ -218,48 +431,52 @@ class CifParser:
             return layer.name
         return cif_name
 
-    def _parse_box(self, cell: Cell, layer: str, args: List[str], raw: str) -> None:
-        values = _ints(args)
+    def _parse_box(self, args: List[str], raw: str) -> None:
+        values = self._ints(args)
         if len(values) not in (4, 6):
-            raise CifSyntaxError(f"malformed box: {raw!r}")
+            self.error("CIF012", f"malformed box: {raw!r}")
         width, height, cx, cy = values[:4]
         if len(values) == 6:
             direction = (values[4], values[5])
             if direction not in ((1, 0), (0, 1), (-1, 0), (0, -1)):
-                raise CifSyntaxError(f"non-Manhattan box direction unsupported: {raw!r}")
+                self.error("CIF012",
+                           f"non-Manhattan box direction unsupported: {raw!r}")
             if direction in ((0, 1), (0, -1)):
                 width, height = height, width
         if width <= 0 or height <= 0:
-            raise CifSyntaxError(f"box with non-positive size: {raw!r}")
+            self.error("CIF012", f"box with non-positive size: {raw!r}")
         x1 = cx - width // 2
         y1 = cy - height // 2
         rect = Rect(x1, y1, x1 + width, y1 + height)
-        cell.add_shape(Shape(layer, rect))
+        self.current_cell.add_shape(Shape(self.current_layer, rect))
 
     def _parse_call(self, args: List[str], raw: str) -> Tuple[int, Transform]:
         if not args:
-            raise CifSyntaxError(f"call without symbol number: {raw!r}")
+            self.error("CIF013", f"call without symbol number: {raw!r}")
         try:
             call_id = int(args[0])
-        except ValueError as exc:
-            raise CifSyntaxError(f"call with non-integer symbol number: {raw!r}") from exc
+        except ValueError:
+            self.error("CIF013",
+                       f"call with non-integer symbol number: {raw!r}")
         transform = Transform.identity()
         index = 1
         while index < len(args):
             token = args[index].upper()
             if token == "T":
-                values = _ints(args[index + 1:index + 3])
+                values = self._ints(args[index + 1:index + 3])
                 if len(values) != 2:
-                    raise CifSyntaxError(f"malformed translate in call: {raw!r}")
+                    self.error("CIF013", f"malformed translate in call: {raw!r}")
                 transform = transform.then(Transform.translate(values[0], values[1]))
                 index += 3
             elif token == "R":
-                values = _ints(args[index + 1:index + 3])
+                values = self._ints(args[index + 1:index + 3])
                 if len(values) != 2:
-                    raise CifSyntaxError(f"malformed rotate in call: {raw!r}")
-                orientation = _ROTATION_TO_ORIENTATION.get((_sign(values[0]), _sign(values[1])))
+                    self.error("CIF013", f"malformed rotate in call: {raw!r}")
+                orientation = _ROTATION_TO_ORIENTATION.get(
+                    (_sign(values[0]), _sign(values[1])))
                 if orientation is None:
-                    raise CifSyntaxError(f"non-Manhattan rotation unsupported: {raw!r}")
+                    self.error("CIF013",
+                               f"non-Manhattan rotation unsupported: {raw!r}")
                 transform = transform.then(Transform(orientation, Point(0, 0)))
                 index += 3
             elif token == "MX":
@@ -269,17 +486,9 @@ class CifParser:
                 transform = transform.then(Transform.mirror_y())
                 index += 1
             else:
-                raise CifSyntaxError(f"unrecognised call transform {token!r} in {raw!r}")
+                self.error("CIF013",
+                           f"unrecognised call transform {token!r} in {raw!r}")
         return call_id, transform
-
-    @staticmethod
-    def _link_calls(cells_by_id: Dict[int, Cell],
-                    deferred_calls: List[Tuple[Cell, int, Transform]]) -> None:
-        for parent, call_id, transform in deferred_calls:
-            child = cells_by_id.get(call_id)
-            if child is None:
-                raise CifSyntaxError(f"call to undefined symbol {call_id}")
-            parent.add_instance(child, transform)
 
 
 def _sign(value: int) -> int:
@@ -291,6 +500,12 @@ def _sign(value: int) -> int:
 
 
 def parse_cif(text: str, technology: Optional[Technology] = None,
-              library_name: str = "parsed") -> Library:
-    """Parse CIF text into a library (convenience wrapper)."""
-    return CifParser(technology).parse(text, library_name)
+              library_name: str = "parsed",
+              collector: Optional[DiagnosticCollector] = None) -> Library:
+    """Parse CIF text into a library (convenience wrapper).
+
+    Pass a :class:`~repro.diagnostics.DiagnosticCollector` to recover from
+    malformed commands (poisoning the affected symbols) instead of raising
+    on the first error.
+    """
+    return CifParser(technology).parse(text, library_name, collector)

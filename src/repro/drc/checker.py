@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.diagnostics import run_with_fallback
 from repro.geometry.index import SpatialIndex, build_index
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
@@ -115,9 +116,19 @@ class DrcChecker:
 
     def check(self, cell: Cell) -> List[DrcViolation]:
         """Flatten ``cell`` and return all violations found."""
+        if not self.use_index:
+            return self._check(cell, brute=True)
+        # An index bug must not block verification: degrade to the retained
+        # all-pairs scans with a warning (fatal under REPRO_STRICT=1).
+        return run_with_fallback(
+            "indexed DRC",
+            lambda: self._check(cell, brute=False),
+            lambda: self._check(cell, brute=True),
+            code="FBK006")
+
+    def _check(self, cell: Cell, brute: bool) -> List[DrcViolation]:
         flat = flatten_cell(cell)
         rects_by_layer = flat.rects_by_layer()
-        brute = not self.use_index
         merged = {layer: _merge_touching(rects, brute_force=brute)
                   for layer, rects in rects_by_layer.items()}
         # One index per layer, shared by every rule touching that layer.

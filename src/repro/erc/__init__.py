@@ -1,0 +1,21 @@
+"""Electrical rule checking of extracted transistor netlists.
+
+DRC proves the *geometry* is manufacturable and LVS proves the extracted
+netlist matches the intended structure; ERC closes the remaining gap by
+checking that the netlist is *electrically sensible* on its own terms —
+no floating gates, no supply shorts, no dead ports, no unintended
+combinational feedback, no pullup that can overpower its pulldown.  The
+checks run on the same :class:`~repro.netlist.switch_sim.SwitchNetwork`
+the extractor produces, are cached per (cell, version) by
+:class:`repro.analysis.HierAnalyzer` like DRC and extraction, and are
+reported by :meth:`repro.assembly.chip.ChipAssembler.sign_off`.
+"""
+
+from repro.erc.checker import ErcChecker, ErcReport, ErcViolation, check_network
+
+__all__ = [
+    "ErcChecker",
+    "ErcReport",
+    "ErcViolation",
+    "check_network",
+]

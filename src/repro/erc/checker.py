@@ -1,0 +1,484 @@
+"""The electrical rule checks for ratioed-NMOS switch networks.
+
+The checks and their stable codes:
+
+``ERC001``  floating gate (error) — a transistor gate node that nothing can
+            ever drive: not a supply, not a clamped input, and not a
+            source/drain terminal of any device.
+``ERC002``  supply short (error) — VDD and GND connected through devices
+            that conduct unconditionally (depletion loads, enhancement
+            devices gated by VDD).  The ratioed fight of a pullup against a
+            *gated* pulldown is normal NMOS and is not flagged.
+``ERC003``  dead port (warning) — a declared input/output whose node
+            touches no device at all (neither gate nor channel terminal).
+``ERC004``  combinational feedback (warning) — a cycle of gate-to-channel
+            dependence between channel-connected node groups.  Warning, not
+            error: cross-coupled structures (set/reset latches) are built
+            this way on purpose, but unintended feedback oscillates.
+``ERC005``  pullup problems — a depletion device with no VDD terminal
+            (warning: it cannot pull anything up), or a pullup strictly
+            stronger (larger W/L) than the strongest pulldown on its output
+            node (error: a conducting pulldown could fail to win the
+            ratioed fight and the node would never reach a valid 0).
+
+Gate-level modules get a structural variant (:meth:`ErcChecker.check_module`):
+
+``ERC006``  undriven output net (error).
+``ERC007``  connection to an undeclared net (error).
+``ERC008``  multiple drivers on one net (error).
+``ERC004``  combinational feedback through gates (warning), same code as
+            the switch-level check because it is the same condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.diagnostics import Diagnostic, Severity, get_logger
+from repro.geometry.index import UnionFind
+from repro.netlist.module import GateType, Module
+from repro.netlist.switch_sim import (
+    GND,
+    SwitchNetwork,
+    TransistorKind,
+    VDD,
+)
+
+_LOG = get_logger("erc")
+
+#: Fix hints per code, attached to the rendered diagnostics.
+_HINTS = {
+    "ERC001": "connect the gate poly to a driven node or an input",
+    "ERC002": "a depletion or always-on path ties VDD to GND",
+    "ERC003": "remove the port or wire its node to a device",
+    "ERC004": "break the cycle or confirm the feedback is intentional",
+    "ERC005": "resize the devices so the pulldown wins the ratioed fight",
+    "ERC006": "drive the output or remove the declaration",
+    "ERC007": "declare the net or fix the connection name",
+    "ERC008": "exactly one gate may drive a net",
+}
+
+
+@dataclass(frozen=True)
+class ErcViolation:
+    """One electrical rule violation: code, severity, text, participants."""
+
+    code: str
+    severity: Severity
+    message: str
+    nodes: Tuple[str, ...] = ()
+    devices: Tuple[str, ...] = ()
+
+    def diagnostic(self) -> Diagnostic:
+        return Diagnostic(self.severity, self.code, self.message,
+                          hint=_HINTS.get(self.code), source="erc")
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class ErcReport:
+    """The ERC result for one network or module."""
+
+    name: str
+    violations: List[ErcViolation] = field(default_factory=list)
+    device_count: int = 0
+    node_count: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no *error*-severity violation was found (warnings ok)."""
+        return not self.errors()
+
+    def errors(self) -> List[ErcViolation]:
+        return [v for v in self.violations if Severity.ERROR <= v.severity]
+
+    def warnings(self) -> List[ErcViolation]:
+        return [v for v in self.violations if v.severity is Severity.WARNING]
+
+    def by_code(self) -> Dict[str, List[ErcViolation]]:
+        table: Dict[str, List[ErcViolation]] = {}
+        for violation in self.violations:
+            table.setdefault(violation.code, []).append(violation)
+        return table
+
+    def codes(self) -> List[str]:
+        return [v.code for v in self.violations]
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return [v.diagnostic() for v in self.violations]
+
+    def summary(self) -> str:
+        errors, warnings = len(self.errors()), len(self.warnings())
+        return (f"{self.name}: {self.device_count} devices, "
+                f"{self.node_count} nodes, {errors} error(s), "
+                f"{warnings} warning(s)")
+
+
+def _tarjan_sccs(graph: Dict[int, List[int]], count: int) -> List[List[int]]:
+    """Strongly connected components, iteratively (chips exceed recursion)."""
+    index_of = [-1] * count
+    low = [0] * count
+    on_stack = [False] * count
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    for root in range(count):
+        if index_of[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            successors = graph.get(node, ())
+            while pos < len(successors):
+                succ = successors[pos]
+                pos += 1
+                if index_of[succ] == -1:
+                    work[-1] = (node, pos)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+class ErcChecker:
+    """Run the electrical rule checks on networks and modules."""
+
+    def check_network(self, network: SwitchNetwork,
+                      name: Optional[str] = None) -> ErcReport:
+        """All switch-level checks (ERC001–ERC005) on one network."""
+        report = ErcReport(name or network.name,
+                           device_count=network.device_count(),
+                           node_count=len(network.nodes()))
+        devices = network.transistors
+        inputs = set(network.inputs)
+        # Named boundary nodes are assumed driven by the next level up; at
+        # the top level ERC003 still reports the ones touching nothing.
+        boundary = inputs | set(network.outputs)
+        supplies = {VDD, GND}
+        terminal_nodes: Set[str] = set()
+        for device in devices:
+            terminal_nodes.add(device.source)
+            terminal_nodes.add(device.drain)
+        live = self._live_nodes(devices, supplies | boundary)
+
+        self._check_floating_gates(report, devices, boundary, terminal_nodes,
+                                   supplies, live)
+        self._check_supply_short(report, devices)
+        self._check_dead_ports(report, network, terminal_nodes)
+        self._check_feedback(report, devices, inputs, live)
+        self._check_pullups(report, devices, live)
+        for violation in report.violations:
+            _LOG.log(30 if Severity.ERROR <= violation.severity else 20,
+                     "%s: %s", report.name, violation)
+        return report
+
+    def check_circuit(self, circuit) -> ErcReport:
+        """ERC on an :class:`~repro.extract.extractor.ExtractedCircuit`."""
+        return self.check_network(circuit.network, name=circuit.cell_name)
+
+    # -- switch-level checks --------------------------------------------------
+
+    @staticmethod
+    def _live_nodes(devices, seeds) -> Set[str]:
+        """Nodes channel-connected to a supply or boundary node.
+
+        Abstract layouts (PLA programming bricks, unprogrammed crosspoints)
+        extract little device clusters with no path to any supply; they can
+        never corrupt the live circuit, so the per-device checks skip them
+        instead of drowning the report in dead-geometry noise.
+        """
+        ids: Dict[str, int] = {}
+        finder = UnionFind()
+
+        def node_id(name: str) -> int:
+            found = ids.get(name)
+            if found is None:
+                found = finder.add()
+                ids[name] = found
+            return found
+
+        for device in devices:
+            finder.union(node_id(device.source), node_id(device.drain))
+        live_roots = {finder.find(ids[seed]) for seed in seeds if seed in ids}
+        live = set(seeds)
+        for name, raw in ids.items():
+            if finder.find(raw) in live_roots:
+                live.add(name)
+        return live
+
+    def _check_floating_gates(self, report: ErcReport, devices, boundary,
+                              terminal_nodes, supplies, live) -> None:
+        drivable = supplies | boundary | terminal_nodes
+        for device in devices:
+            if device.gate in drivable:
+                continue
+            if device.source not in live and device.drain not in live:
+                continue  # dead cluster: cannot disturb the circuit
+            report.violations.append(ErcViolation(
+                "ERC001", Severity.ERROR,
+                f"gate of {device.name} on node {device.gate!r} "
+                "is floating (never driven)",
+                nodes=(device.gate,), devices=(device.name,)))
+
+    def _check_supply_short(self, report: ErcReport, devices) -> None:
+        # Union source/drain across devices that conduct no matter what the
+        # circuit state is; a VDD~GND merge is a hard short.
+        ids: Dict[str, int] = {}
+        finder = UnionFind()
+
+        def node_id(name: str) -> int:
+            found = ids.get(name)
+            if found is None:
+                found = finder.add()
+                ids[name] = found
+            return found
+
+        node_id(VDD)
+        node_id(GND)
+        culprits: List[str] = []
+        for device in devices:
+            always_on = (device.kind is TransistorKind.DEPLETION
+                         or device.gate == VDD)
+            if always_on:
+                finder.union(node_id(device.source), node_id(device.drain))
+                culprits.append(device.name)
+        if finder.find(ids[VDD]) == finder.find(ids[GND]):
+            report.violations.append(ErcViolation(
+                "ERC002", Severity.ERROR,
+                "VDD is shorted to GND through always-conducting devices",
+                nodes=(VDD, GND), devices=tuple(culprits)))
+
+    def _check_dead_ports(self, report: ErcReport, network: SwitchNetwork,
+                          terminal_nodes) -> None:
+        touched = set(terminal_nodes)
+        for device in network.transistors:
+            touched.add(device.gate)
+        for port in list(network.inputs) + [p for p in network.outputs
+                                            if p not in network.inputs]:
+            if port not in touched and port not in (VDD, GND):
+                report.violations.append(ErcViolation(
+                    "ERC003", Severity.WARNING,
+                    f"port {port!r} touches no device", nodes=(port,)))
+
+    def _check_feedback(self, report: ErcReport, devices, inputs,
+                        live) -> None:
+        """Cycles of gate→channel dependence between channel groups.
+
+        Nodes are first merged into channel-connected groups (source/drain
+        adjacency with VDD, GND and clamped inputs removed — the standard
+        switch-level partition), so a series pulldown stack is one group
+        and does not read as a cycle.  An *enhancement* device whose gate
+        lands in its own channel group is direct self-feedback; a depletion
+        load's customary gate-to-source tie is not reported.
+        """
+        excluded = {VDD, GND} | set(inputs)
+        ids: Dict[str, int] = {}
+        finder = UnionFind()
+
+        def node_id(name: str) -> Optional[int]:
+            if name in excluded:
+                return None
+            found = ids.get(name)
+            if found is None:
+                found = finder.add()
+                ids[name] = found
+            return found
+
+        for device in devices:
+            source_id = node_id(device.source)
+            drain_id = node_id(device.drain)
+            if source_id is not None and drain_id is not None:
+                finder.union(source_id, drain_id)
+        # Group the remaining nodes and build gate -> channel edges.
+        group_of: Dict[str, int] = {}
+        group_names: Dict[int, List[str]] = {}
+        for name, raw in ids.items():
+            root = finder.find(raw)
+            group_of[name] = root
+            group_names.setdefault(root, []).append(name)
+        edges: Dict[int, Set[int]] = {}
+        self_loop_devices: List = []
+        for device in devices:
+            gate_group = group_of.get(device.gate)
+            if gate_group is None:
+                continue
+            for terminal in (device.source, device.drain):
+                term_group = group_of.get(terminal)
+                if term_group is None:
+                    continue
+                if term_group == gate_group:
+                    if (device.kind is TransistorKind.ENHANCEMENT
+                            and terminal in live):
+                        self_loop_devices.append(device)
+                    continue
+                edges.setdefault(gate_group, set()).add(term_group)
+
+        reported: Set[str] = set()
+        for device in self_loop_devices:
+            if device.name in reported:
+                continue
+            reported.add(device.name)
+            report.violations.append(ErcViolation(
+                "ERC004", Severity.WARNING,
+                f"device {device.name} gates its own channel group "
+                f"(node {device.gate!r})",
+                nodes=(device.gate,), devices=(device.name,)))
+
+        roots = sorted(group_names)
+        position = {root: i for i, root in enumerate(roots)}
+        graph = {position[src]: sorted(position[dst] for dst in dsts)
+                 for src, dsts in edges.items()}
+        for scc in _tarjan_sccs(graph, len(roots)):
+            if len(scc) < 2:
+                continue
+            members = sorted(name for i in scc
+                             for name in group_names[roots[i]])
+            if not any(member in live for member in members):
+                continue  # a dead cluster has no supply to oscillate with
+            report.violations.append(ErcViolation(
+                "ERC004", Severity.WARNING,
+                "combinational feedback through nodes "
+                + ", ".join(repr(m) for m in members[:6])
+                + ("..." if len(members) > 6 else ""),
+                nodes=tuple(members)))
+
+    def _check_pullups(self, report: ErcReport, devices, live) -> None:
+        # Strongest pulldown (enhancement W/L) adjacent to each node.
+        pulldown_strength: Dict[str, float] = {}
+        for device in devices:
+            if device.kind is not TransistorKind.ENHANCEMENT:
+                continue
+            strength = device.width / device.length
+            for terminal in (device.source, device.drain):
+                if terminal in (VDD, GND):
+                    continue
+                if strength > pulldown_strength.get(terminal, 0.0):
+                    pulldown_strength[terminal] = strength
+        for device in devices:
+            if device.kind is not TransistorKind.DEPLETION:
+                continue
+            if VDD not in (device.source, device.drain):
+                if device.source in live or device.drain in live:
+                    report.violations.append(ErcViolation(
+                        "ERC005", Severity.WARNING,
+                        f"depletion device {device.name} has no VDD terminal "
+                        "(cannot act as a pullup)",
+                        nodes=(device.source, device.drain),
+                        devices=(device.name,)))
+                continue
+            output = device.drain if device.source == VDD else device.source
+            if output in (VDD, GND):
+                continue
+            strongest = pulldown_strength.get(output)
+            if strongest is None:
+                # A pullup with no pulldown is a constant-1 node — legal
+                # (it is how const1 cells are built).
+                continue
+            pullup = device.width / device.length
+            if pullup > strongest:
+                report.violations.append(ErcViolation(
+                    "ERC005", Severity.ERROR,
+                    f"pullup {device.name} on node {output!r} is stronger "
+                    f"(W/L {pullup:g}) than the strongest pulldown "
+                    f"(W/L {strongest:g})",
+                    nodes=(output,), devices=(device.name,)))
+
+    # -- gate-level module check ----------------------------------------------
+
+    def check_module(self, module: Module) -> ErcReport:
+        """Structural ERC on a gate-level module (ERC004/006/007/008)."""
+        report = ErcReport(module.name,
+                           device_count=module.gate_count(),
+                           node_count=len(module.nets))
+        driven = module.driven_nets()
+        inputs = set(module.input_names())
+        for net in module.nets.values():
+            if net.is_output and net.name not in driven and net.name not in inputs:
+                report.violations.append(ErcViolation(
+                    "ERC006", Severity.ERROR,
+                    f"output net {net.name!r} is never driven",
+                    nodes=(net.name,)))
+        driver_count: Dict[str, int] = {}
+        for instance in module.instances:
+            for port, net_name in instance.connections.items():
+                if net_name not in module.nets:
+                    report.violations.append(ErcViolation(
+                        "ERC007", Severity.ERROR,
+                        f"instance {instance.name!r} port {port!r} "
+                        f"references unknown net {net_name!r}",
+                        nodes=(net_name,), devices=(instance.name,)))
+            if instance.is_primitive and "out" in instance.connections:
+                out = instance.connections["out"]
+                driver_count[out] = driver_count.get(out, 0) + 1
+        for net_name in sorted(driver_count):
+            if driver_count[net_name] > 1:
+                report.violations.append(ErcViolation(
+                    "ERC008", Severity.ERROR,
+                    f"net {net_name!r} has multiple drivers",
+                    nodes=(net_name,)))
+        self._check_module_feedback(report, module, inputs)
+        return report
+
+    def _check_module_feedback(self, report: ErcReport, module: Module,
+                               inputs) -> None:
+        flat = module
+        if any(not instance.is_primitive for instance in module.instances):
+            flat = module.flattened()
+        names = sorted(flat.nets)
+        position = {name: i for i, name in enumerate(names)}
+        graph: Dict[int, List[int]] = {}
+        for instance in flat.instances:
+            if not instance.is_primitive or instance.kind.is_sequential:
+                continue  # registers break combinational cycles
+            out = instance.connections.get("out")
+            if out is None or out in inputs:
+                continue
+            targets = graph.setdefault(position[out], [])
+            for net in instance.input_nets():
+                if net in inputs or net not in position:
+                    continue
+                targets.append(position[net])
+        # Edge direction out <- in is fine for cycle existence; report the
+        # SCC membership, which is direction-agnostic.
+        for scc in _tarjan_sccs({k: sorted(set(v)) for k, v in graph.items()},
+                                len(names)):
+            if len(scc) < 2:
+                continue
+            members = sorted(names[i] for i in scc)
+            report.violations.append(ErcViolation(
+                "ERC004", Severity.WARNING,
+                "combinational feedback through nets "
+                + ", ".join(repr(m) for m in members[:6])
+                + ("..." if len(members) > 6 else ""),
+                nodes=tuple(members)))
+
+
+def check_network(network: SwitchNetwork) -> ErcReport:
+    """One-shot switch-level ERC."""
+    return ErcChecker().check_network(network)

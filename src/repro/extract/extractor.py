@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.diagnostics import run_with_fallback
 from repro.geometry.index import SpatialIndex, UnionFind, build_index
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
@@ -98,7 +99,17 @@ class Extractor:
     # -- main entry point ------------------------------------------------------------
 
     def extract(self, cell: Cell) -> ExtractedCircuit:
-        brute = not self.use_index
+        if not self.use_index:
+            return self._extract(cell, brute=True)
+        # An index bug must not block extraction: degrade to the retained
+        # all-pairs scans with a warning (fatal under REPRO_STRICT=1).
+        return run_with_fallback(
+            "indexed extractor",
+            lambda: self._extract(cell, brute=False),
+            lambda: self._extract(cell, brute=True),
+            code="FBK005")
+
+    def _extract(self, cell: Cell, brute: bool) -> ExtractedCircuit:
         flat = flatten_cell(cell)
         rects = flat.rects_by_layer()
         diffusion = [r for layer in self._diffusion_layers for r in rects.get(layer, [])]

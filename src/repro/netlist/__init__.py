@@ -8,7 +8,7 @@ simulator for transistor networks (as extracted from layout), and a netlist
 isomorphism check used as the LVS step of physical verification.
 """
 
-from repro.netlist.module import Module, Net, Instance, GateType
+from repro.netlist.module import Module, Net, Instance, GateType, NetlistError
 from repro.netlist.gate_sim import GateLevelSimulator, SimulationTrace
 from repro.netlist.switch_sim import SwitchLevelSimulator, Transistor, TransistorKind, SwitchNetwork
 from repro.netlist.compare import compare_netlists, ComparisonResult
@@ -18,6 +18,7 @@ __all__ = [
     "Net",
     "Instance",
     "GateType",
+    "NetlistError",
     "GateLevelSimulator",
     "SimulationTrace",
     "SwitchLevelSimulator",

@@ -29,6 +29,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from typing import TYPE_CHECKING
 
+from repro.diagnostics import (
+    BudgetExceeded,
+    Diagnostic,
+    Severity,
+    run_with_fallback,
+)
 from repro.netlist.module import GateType, Instance, Module
 
 if TYPE_CHECKING:   # the kernel package imports this package's modules
@@ -79,10 +85,19 @@ class GateLevelSimulator:
             # imported first.
             from repro.sim.kernel import CompiledNetlist, ScalarEngine
 
-            self._compiled = CompiledNetlist(self.module)
-            self._engine = ScalarEngine(
-                self._compiled, self.values, self.state, settle_limit
-            )
+            def build() -> "ScalarEngine":
+                self._compiled = CompiledNetlist(self.module)
+                return ScalarEngine(
+                    self._compiled, self.values, self.state, settle_limit
+                )
+
+            # A lowering bug must not take the simulator down: degrade to
+            # the retained interpreter with a warning (fatal under
+            # REPRO_STRICT=1 so CI still surfaces it).
+            self._engine = run_with_fallback(
+                "gate-level simulator", build, lambda: None, code="FBK002")
+            if self._engine is None:
+                self.use_compiled = False
 
     # -- evaluation -----------------------------------------------------------------
 
@@ -145,7 +160,11 @@ class GateLevelSimulator:
         while changed_nets:
             iterations += 1
             if iterations > self.settle_limit:
-                raise RuntimeError("combinational loop did not settle (oscillation?)")
+                raise BudgetExceeded(
+                    "combinational loop did not settle (oscillation?)",
+                    Diagnostic(Severity.ERROR, "GRD002",
+                               "combinational loop did not settle "
+                               "(oscillation?)", source="sim"))
             next_changed: Set[str] = set()
             for instance in self.module.instances:
                 if instance.kind.is_sequential and instance.kind is not GateType.LATCH:

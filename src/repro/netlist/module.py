@@ -6,6 +6,20 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.diagnostics import Diagnostic, DiagnosticError, Severity
+
+
+class NetlistError(DiagnosticError, ValueError):
+    """Raised on malformed netlist construction (still a ``ValueError``)."""
+
+    default_code = "NET000"
+
+
+def _netlist_error(code: str, message: str) -> NetlistError:
+    return NetlistError(message,
+                        Diagnostic(Severity.ERROR, code, message,
+                                   None, None, "netlist"))
+
 
 class GateType(Enum):
     """Primitive component types understood by the gate-level simulator."""
@@ -161,9 +175,12 @@ class Module:
         arity = _GATE_ARITY[gate]
         if arity is not None and gate not in (GateType.MUX2, GateType.LATCH):
             if len(inputs) != arity:
-                raise ValueError(f"{gate.value} expects {arity} input(s), got {len(inputs)}")
+                raise _netlist_error(
+                    "NET001",
+                    f"{gate.value} expects {arity} input(s), got {len(inputs)}")
         elif arity is None and len(inputs) < 2:
-            raise ValueError(f"{gate.value} expects at least two inputs")
+            raise _netlist_error(
+                "NET001", f"{gate.value} expects at least two inputs")
         connections: Dict[str, str] = {"out": output}
         for index, net_name in enumerate(inputs):
             connections[f"in{index}"] = net_name
@@ -180,9 +197,10 @@ class Module:
         """Instantiate another module; ``connections`` maps its ports to nets."""
         for port in module.input_names() + module.output_names():
             if port not in connections:
-                raise ValueError(
-                    f"instantiation of {module.name!r} misses connection for port {port!r}"
-                )
+                raise _netlist_error(
+                    "NET002",
+                    f"instantiation of {module.name!r} misses connection "
+                    f"for port {port!r}")
         for net_name in connections.values():
             self.add_net(net_name)
         instance_name = name or self._fresh_name(module.name)
@@ -192,7 +210,8 @@ class Module:
 
     def _register(self, instance: Instance) -> None:
         if instance.name in self._instance_names:
-            raise ValueError(f"duplicate instance name {instance.name!r}")
+            raise _netlist_error(
+                "NET003", f"duplicate instance name {instance.name!r}")
         self._instance_names.add(instance.name)
         self.instances.append(instance)
 

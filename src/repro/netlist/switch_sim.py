@@ -39,8 +39,25 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.diagnostics import (
+    BudgetExceeded,
+    Diagnostic,
+    Severity,
+    run_with_fallback,
+)
+
 VDD = "vdd"
 GND = "gnd"
+
+
+def _settle_budget_error() -> BudgetExceeded:
+    return BudgetExceeded(
+        "switch-level simulation did not settle",
+        Diagnostic(Severity.ERROR, "GRD003",
+                   "switch-level simulation did not settle",
+                   hint="the network oscillates; raise settle_limit only "
+                        "if the propagation depth is real",
+                   source="sim"))
 
 
 class TransistorKind(Enum):
@@ -160,7 +177,18 @@ class SwitchLevelSimulator:
         clamped = {name for name in self.network.inputs
                    if self.values.get(name) is not None} | {VDD, GND}
         if self.use_incremental:
-            self._settle_incremental(clamped)
+            # An incremental-bookkeeping bug must not take simulation down:
+            # degrade to the retained reference loop (with its state reset,
+            # so it rebuilds from the network alone).  BudgetExceeded
+            # propagates — a genuine oscillation hangs both paths.
+            def fallback() -> None:
+                self._num_devices = -1
+                self._topo_valid = False
+                self._settle_reference(clamped)
+
+            run_with_fallback("switch-level settle",
+                              lambda: self._settle_incremental(clamped),
+                              fallback, code="FBK003")
         else:
             self._settle_reference(clamped)
 
@@ -180,7 +208,7 @@ class SwitchLevelSimulator:
                         changed = True
             if not changed:
                 return
-        raise RuntimeError("switch-level simulation did not settle")
+        raise _settle_budget_error()
 
     def _conducting_groups(self, clamped: Set[str]) -> List[Set[str]]:
         """Connected components of nodes joined by conducting channels.
@@ -362,7 +390,7 @@ class SwitchLevelSimulator:
                 next_flips.update(self._gate_fanout.get(node, ()))
                 affected.add(self._comp[node])
             flip_candidates = sorted(next_flips)
-        raise RuntimeError("switch-level simulation did not settle")
+        raise _settle_budget_error()
 
     def _resolve_group(self, group: Set[str], clamped: Set[str]) -> Optional[int]:
         """Resolve the value of a connected group of nodes.

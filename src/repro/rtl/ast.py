@@ -143,6 +143,9 @@ class MachineDescription:
     name: str
     declarations: Dict[str, Declaration] = field(default_factory=dict)
     body: Block = field(default_factory=lambda: Block(()))
+    #: Set by the recovering parser when the machine was unreadable enough
+    #: that the body cannot be trusted (header or ``always`` missing).
+    poisoned: bool = False
 
     def declare(self, kind: DeclKind, name: str, width: int, depth: int = 0) -> Declaration:
         if name in self.declarations:

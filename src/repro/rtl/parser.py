@@ -16,6 +16,15 @@ The concrete syntax is a compact ISPS-flavoured notation::
 Clocked transfers use ``<-``; combinational (wire/output) assignments use
 ``=``.  Memories are declared ``memory m[depth][width]`` and indexed
 ``m[address_expression]``.
+
+Error handling mirrors the CIF parser: without a collector the first
+malformed token raises :class:`RtlSyntaxError` (now carrying a typed
+diagnostic with an ``RTL0xx`` code and a line/column span); with a
+:class:`~repro.diagnostics.DiagnosticCollector` the parser recovers —
+bad characters are skipped, malformed declarations and statements are
+resynchronized at the next semicolon (or ``end``), and a machine whose
+header or ``always`` block is unreadable is returned **poisoned**
+(``machine.poisoned``) rather than crashing the caller.
 """
 
 from __future__ import annotations
@@ -23,6 +32,13 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple, Union
 
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    DiagnosticError,
+    Severity,
+    SourceSpan,
+)
 from repro.rtl.ast import (
     Assignment,
     BinaryOp,
@@ -42,8 +58,18 @@ from repro.rtl.ast import (
 )
 
 
-class RtlSyntaxError(ValueError):
+class RtlSyntaxError(DiagnosticError, ValueError):
     """Raised on malformed RTL text, with line information."""
+
+    default_code = "RTL000"
+
+
+def _syntax_error(code: str, line: int, column: int,
+                  message: str) -> RtlSyntaxError:
+    return RtlSyntaxError(
+        f"line {line}: {message}",
+        Diagnostic(Severity.ERROR, code, message,
+                   SourceSpan(line, column), None, "rtl"))
 
 
 _TOKEN_SPEC = [
@@ -63,44 +89,64 @@ _KEYWORDS = {"machine", "input", "output", "register", "wire", "memory",
 
 
 class _Token:
-    __slots__ = ("kind", "text", "line")
+    __slots__ = ("kind", "text", "line", "column")
 
-    def __init__(self, kind: str, text: str, line: int):
+    def __init__(self, kind: str, text: str, line: int, column: int = 1):
         self.kind = kind
         self.text = text
         self.line = line
+        self.column = column
+
+    @property
+    def span(self) -> SourceSpan:
+        return SourceSpan(self.line, self.column)
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r}, line {self.line})"
 
 
-def _tokenize(text: str) -> List[_Token]:
+def _tokenize(text: str,
+              collector: Optional[DiagnosticCollector] = None) -> List[_Token]:
     tokens: List[_Token] = []
     line = 1
+    line_start = 0
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            raise RtlSyntaxError(f"line {line}: unexpected character {text[position]!r}")
+            column = position - line_start + 1
+            error = _syntax_error(
+                "RTL001", line, column,
+                f"unexpected character {text[position]!r}")
+            if collector is None:
+                raise error
+            collector.add(error.diagnostic)
+            position += 1          # skip the bad character and carry on
+            continue
+        column = match.start() - line_start + 1
         position = match.end()
         kind = match.lastgroup
         value = match.group()
         if kind == "newline":
             line += 1
+            line_start = position
             continue
         if kind in ("space", "comment"):
             continue
         if kind == "name" and value in _KEYWORDS:
-            tokens.append(_Token("keyword", value, line))
+            tokens.append(_Token("keyword", value, line, column))
         else:
-            tokens.append(_Token(kind, value, line))
-    tokens.append(_Token("eof", "", line))
+            tokens.append(_Token(kind, value, line, column))
+    tokens.append(_Token("eof", "", line, max(1, len(text) - line_start + 1)))
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: List[_Token]):
+    def __init__(self, tokens: List[_Token],
+                 collector: Optional[DiagnosticCollector] = None):
         self.tokens = tokens
+        self.collector = collector
+        self.recovering = collector is not None
         self.index = 0
 
     # -- token helpers -----------------------------------------------------------
@@ -125,32 +171,77 @@ class _Parser:
         if token is None:
             actual = self.peek()
             expected = text if text is not None else kind
-            raise RtlSyntaxError(
-                f"line {actual.line}: expected {expected!r}, found {actual.text!r}"
-            )
+            raise _syntax_error(
+                "RTL007", actual.line, actual.column,
+                f"expected {expected!r}, found {actual.text!r}")
         return token
+
+    # -- recovery -----------------------------------------------------------------
+
+    def _record(self, error: RtlSyntaxError) -> None:
+        self.collector.add(error.diagnostic)
+
+    def _resync_statement(self) -> None:
+        """Skip tokens until just past a ``;`` or just before ``end``/eof."""
+        while True:
+            token = self.peek()
+            if token.kind == "eof":
+                return
+            if token.kind == "keyword" and token.text == "end":
+                return
+            self.advance()
+            if token.kind == "op" and token.text == ";":
+                return
 
     # -- grammar ------------------------------------------------------------------
 
     def parse_machine(self) -> MachineDescription:
-        self.expect("keyword", "machine")
-        name = self.expect("name").text
-        self.expect("op", ";")
+        try:
+            self.expect("keyword", "machine")
+            name = self.expect("name").text
+            self.expect("op", ";")
+        except RtlSyntaxError as error:
+            if not self.recovering:
+                raise
+            self._record(error)
+            machine = MachineDescription("<invalid>")
+            machine.poisoned = True
+            return machine
         machine = MachineDescription(name)
         while self.peek().kind == "keyword" and self.peek().text in (
             "input", "output", "register", "wire", "memory"
         ):
-            self._parse_declaration_line(machine)
-        self.expect("keyword", "always")
+            if self.recovering:
+                try:
+                    self._parse_declaration_line(machine)
+                except RtlSyntaxError as error:
+                    self._record(error)
+                    self._resync_statement()
+            else:
+                self._parse_declaration_line(machine)
+        try:
+            self.expect("keyword", "always")
+        except RtlSyntaxError as error:
+            if not self.recovering:
+                raise
+            self._record(error)
+            machine.poisoned = True
+            return machine
         machine.body = self._parse_block()
-        self.expect("eof")
+        try:
+            self.expect("eof")
+        except RtlSyntaxError as error:
+            if not self.recovering:
+                raise
+            self._record(error)
         return machine
 
     def _parse_declaration_line(self, machine: MachineDescription) -> None:
         kind_token = self.advance()
         kind = DeclKind(kind_token.text)
         while True:
-            name = self.expect("name").text
+            name_token = self.expect("name")
+            name = name_token.text
             self.expect("op", "[")
             first = self._parse_integer()
             self.expect("op", "]")
@@ -161,7 +252,11 @@ class _Parser:
                 width = self._parse_integer()
                 self.expect("op", "]")
                 depth = first
-            machine.declare(kind, name, width, depth)
+            try:
+                machine.declare(kind, name, width, depth)
+            except ValueError as exc:
+                raise _syntax_error("RTL004", name_token.line,
+                                    name_token.column, str(exc)) from exc
             if not self.accept("op", ","):
                 break
         self.expect("op", ";")
@@ -171,10 +266,32 @@ class _Parser:
         return _parse_number(token.text)
 
     def _parse_block(self) -> Block:
-        self.expect("keyword", "begin")
+        try:
+            self.expect("keyword", "begin")
+        except RtlSyntaxError as error:
+            if not self.recovering:
+                raise
+            self._record(error)
+            self._resync_statement()
+            return Block(())
         statements: List[Statement] = []
         while not self.accept("keyword", "end"):
-            statements.append(self._parse_statement())
+            if self.peek().kind == "eof":
+                error = _syntax_error(
+                    "RTL008", self.peek().line, self.peek().column,
+                    "unterminated block (missing 'end')")
+                if not self.recovering:
+                    raise error
+                self._record(error)
+                break
+            if self.recovering:
+                try:
+                    statements.append(self._parse_statement())
+                except RtlSyntaxError as error:
+                    self._record(error)
+                    self._resync_statement()
+            else:
+                statements.append(self._parse_statement())
         return Block(tuple(statements))
 
     def _parse_statement(self) -> Statement:
@@ -200,10 +317,10 @@ class _Parser:
     def _parse_assignment(self) -> Assignment:
         target = self._parse_primary(allow_target=True)
         if not isinstance(target, (Identifier, BitSelect, MemoryAccess)):
-            raise RtlSyntaxError(
-                f"line {self.peek().line}: assignment target must be a name, "
-                "bit-select or memory reference"
-            )
+            raise _syntax_error(
+                "RTL006", self.peek().line, self.peek().column,
+                "assignment target must be a name, bit-select or memory "
+                "reference")
         if self.accept("transfer"):
             clocked = True
         else:
@@ -313,12 +430,14 @@ class _Parser:
                     return BitSelect(Identifier(name), first.value, first.value)
                 return MemoryAccess(name, first)
             return Identifier(name)
-        raise RtlSyntaxError(f"line {token.line}: unexpected token {token.text!r}")
+        raise _syntax_error("RTL009", token.line, token.column,
+                            f"unexpected token {token.text!r}")
 
 
 def _require_constant(expression: Expression, line: int) -> int:
     if not isinstance(expression, Constant):
-        raise RtlSyntaxError(f"line {line}: bit-range bounds must be constants")
+        raise _syntax_error("RTL010", line, 1,
+                            "bit-range bounds must be constants")
     return expression.value
 
 
@@ -330,6 +449,18 @@ def _parse_number(text: str) -> int:
     return int(text, 10)
 
 
-def parse_rtl(text: str) -> MachineDescription:
-    """Parse RTL source text into a :class:`MachineDescription`."""
-    return _Parser(_tokenize(text)).parse_machine()
+def parse_rtl(text: str,
+              collector: Optional[DiagnosticCollector] = None
+              ) -> MachineDescription:
+    """Parse RTL source text into a :class:`MachineDescription`.
+
+    With a ``collector`` the parser recovers from malformed declarations
+    and statements (resynchronizing at the next semicolon) and records
+    every problem instead of raising on the first; a machine whose header
+    or ``always`` section is unreadable comes back with
+    ``machine.poisoned`` set.
+    """
+    machine = _Parser(_tokenize(text, collector), collector).parse_machine()
+    if collector is not None and collector.has_errors:
+        machine.poisoned = machine.poisoned or not machine.body.statements
+    return machine

@@ -86,9 +86,18 @@ class RtlSimulator:
         self.use_compiled = use_compiled
         self._compiled_body: Optional[_StmtFn] = None
         if use_compiled:
-            self._compiled_body = _StatementCompiler(machine).compile_block(
-                machine.body
-            )
+            # Name-resolution errors are deferred into the closures (they
+            # surface at step() time, identically on both paths), so a
+            # failure *here* is a lowering bug: degrade to the interpreter
+            # with a warning rather than taking the simulator down.
+            from repro.diagnostics import run_with_fallback
+
+            self._compiled_body = run_with_fallback(
+                "rtl simulator",
+                lambda: _StatementCompiler(machine).compile_block(machine.body),
+                lambda: None, code="FBK004")
+            if self._compiled_body is None:
+                self.use_compiled = False
 
     # -- state access ----------------------------------------------------------------
 

@@ -32,9 +32,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.diagnostics import get_logger
 from repro.netlist.module import Module
 from repro.sim.kernel import OP_LATCH, CompiledNetlist
 from repro.timing.delay import GateDelayModel
+
+_LOG = get_logger("timing")
 
 _NEG_INF = float("-inf")
 
@@ -300,6 +303,15 @@ class TimingGraph:
                 heapq.heappush(heap, (-new_bound, counter, out, False,
                                       steps + ((gate_id, out),)))
                 counter += 1
+        if heap and len(results) < k:
+            # The expansion budget ran out with candidates still queued:
+            # the enumeration is truncated, never silently — the paths
+            # already emitted are still the exact worst ones.
+            _LOG.warning(
+                "warning [STA001]: worst_paths(k=%d) stopped after %d "
+                "expansions with %d path(s) found; remaining paths are "
+                "not enumerated (raise max_expansions for more)",
+                k, max_expansions, len(results))
         return results
 
     def _path_starts(self) -> List[int]:

