@@ -1,0 +1,94 @@
+"""E15 — place & route: wirelength refinement and short-free pad routing.
+
+The chip assembler used to draw every pad connection as a blind L-shaped
+wire straight through whatever lay in its path.  This experiment measures
+the replacement subsystem (:mod:`repro.pnr`) on the chip-assembly family's
+8-bit member, the densest routing case in the examples:
+
+* **placement** — the annealer must strictly improve (or match) the
+  shelf-packed floorplan's half-perimeter wirelength, with zero block
+  overlaps;
+* **routing** — every pad-to-core net must complete through the
+  obstacle-aware maze router (completion 1.0, no ROU008 legacy fallback),
+  and the drawn nets must be pairwise disjoint;
+* **sign-off** — the routed chip must be DRC-clean.
+
+``BENCH_e15.json`` records the figures; ``wirelength_speedup`` (initial
+over refined HPWL, >= 1.0 by construction) is the ratio CI gates with
+``check_regression.py`` — both sides are measured in the same run, so the
+guard is machine-independent.
+"""
+
+import os
+import sys
+import time
+
+from benchmarks.conftest import emit, record_bench
+from repro.metrics import format_table
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "examples"))
+from chip_assembly import build_chip  # noqa: E402
+
+
+def test_e15_place_and_route():
+    start = time.perf_counter()
+    assembler, chip = build_chip("e15_family_8b", 8, 0)
+    assemble_seconds = time.perf_counter() - start
+
+    placement = assembler.placement_report
+    assert placement is not None
+    assert not placement.overlaps
+    assert placement.final_wirelength <= placement.initial_wirelength
+
+    routing = assembler.routing_report
+    assert routing is not None
+    assert routing.completion == 1.0, [exc for _, exc in routing.failed]
+    assert not any(d.code == "ROU008"
+                   for d in assembler.diagnostics.diagnostics)
+
+    start = time.perf_counter()
+    report = assembler.sign_off()
+    sign_off_seconds = time.perf_counter() - start
+    assert report.clean, f"{len(report.violations)} DRC violations"
+
+    wirelength_speedup = (placement.initial_wirelength
+                          / max(placement.final_wirelength, 1))
+    assert wirelength_speedup >= 1.0
+
+    rows = [[net.name, net.method, str(net.length)]
+            for net in routing.routed]
+    emit(format_table(
+        ["net", "router", "length (lambda)"], rows,
+        f"E15: pad routing of the 8-bit family chip "
+        f"({assembler.report.chip_width} x {assembler.report.chip_height} "
+        f"lambda, {len(routing.routed)} nets, completion "
+        f"{routing.completion:.0%})"))
+    emit(format_table(
+        ["stage", "value"],
+        [["initial HPWL", str(placement.initial_wirelength)],
+         ["refined HPWL", str(placement.final_wirelength)],
+         ["improvement", f"{placement.improvement:.1%}"],
+         ["moves accepted", f"{placement.moves_accepted}"
+                            f"/{placement.moves_tried}"],
+         ["DRC violations", str(len(report.violations))],
+         ["assemble time (s)", f"{assemble_seconds:.2f}"],
+         ["sign-off time (s)", f"{sign_off_seconds:.2f}"]],
+        "E15: placement refinement and sign-off"))
+
+    record_bench(
+        "e15", None,
+        nets_routed=len(routing.routed),
+        nets_failed=len(routing.failed),
+        route_completion=routing.completion,
+        total_route_length=sum(net.length for net in routing.routed),
+        initial_wirelength=placement.initial_wirelength,
+        final_wirelength=placement.final_wirelength,
+        placement_improvement=round(placement.improvement, 4),
+        placement_overlaps=len(placement.overlaps),
+        drc_violations=len(report.violations),
+        erc_errors=len(report.erc.errors()),
+        assemble_seconds=round(assemble_seconds, 4),
+        sign_off_seconds=round(sign_off_seconds, 4),
+        wirelength_speedup=round(wirelength_speedup, 4),
+    )

@@ -1,12 +1,18 @@
-"""Left-edge channel routing.
+"""Left-edge channel routing with vertical constraints.
 
 The channel router handles the general case river routing cannot: nets whose
 terminals appear in arbitrary order on the two edges of a routing channel.
-It implements the classic left-edge algorithm: each net becomes a horizontal
-interval (from its leftmost to its rightmost terminal); intervals are sorted
-by left edge and packed greedily into tracks so that no two overlapping
-intervals share a track.  Vertical segments drop from each terminal to its
-net's track.
+It implements the classic constrained left-edge algorithm: each net becomes
+a horizontal interval (from its leftmost to its rightmost terminal);
+intervals are packed greedily into tracks so that no two intervals share a
+track without the technology's minimum wire spacing between them, and so
+that the *vertical constraint graph* is respected — when one net has a
+bottom pin and another a top pin in the same (or an adjacent) column, the
+bottom net's track must lie below the top net's track or their vertical
+stubs would overlap into a short.  Cyclic vertical constraints are broken
+with doglegs (splitting a net's trunk across two tracks joined by an extra
+vertical stub); if no dogleg can break the cycle the router raises a typed
+:class:`ChannelRoutingError` instead of emitting shorted geometry.
 
 The number of tracks used (the channel density achieved) directly sets the
 channel height, which is the area cost of *not* arranging connections for
@@ -16,11 +22,18 @@ abutment — the comparison experiment E8 runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.diagnostics import Budget
+from repro.diagnostics import Budget, Diagnostic, DiagnosticError, Severity
 from repro.geometry.point import Point
 from repro.layout.cell import Cell
+from repro.technology.technology import Technology
+
+
+class ChannelRoutingError(DiagnosticError, ValueError):
+    """The net list cannot be routed without shorts (pin conflict or cycle)."""
+
+    default_code = "ROU002"
 
 
 @dataclass
@@ -57,22 +70,77 @@ class ChannelResult:
     channel_height: int
     total_wire_length: int
     density: int
+    doglegs: int = 0
+    #: Every shape drawn for each net (trunks, stubs, dogleg joins), so
+    #: callers can register routes as obstacles and tests can assert that
+    #: no two nets' shapes touch.
+    shapes_of_net: Dict[str, List] = field(default_factory=dict)
+
+
+@dataclass
+class _Interval:
+    """One trunk to place on a track: a (possibly split) piece of a net."""
+
+    net: ChannelNet
+    left: int
+    right: int
+    bottom_pins: List[int]
+    top_pins: List[int]
+    #: Extra stub column joining this piece to its dogleg sibling (if split).
+    dogleg: Optional[int] = None
+    track: Optional[int] = None
 
 
 class ChannelRouter:
-    """Route a single horizontal channel with the left-edge algorithm."""
+    """Route a single horizontal channel with the left-edge algorithm.
+
+    ``wire_width``/``track_pitch``/``spacing`` default to the classic
+    3/7/3-lambda metal values; :meth:`for_technology` derives them from a
+    :class:`~repro.technology.technology.Technology`'s rule set so the
+    router and DRC agree by construction.
+    """
 
     def __init__(self, layer_horizontal: str = "metal", layer_vertical: str = "poly",
-                 wire_width: int = 3, track_pitch: int = 7,
+                 wire_width: int = 3, track_pitch: Optional[int] = None,
+                 spacing: int = 3, stub_width: int = 2, stub_spacing: int = 2,
+                 validate_pin_spacing: bool = False,
                  max_steps: Optional[int] = 1_000_000):
         self.layer_horizontal = layer_horizontal
         self.layer_vertical = layer_vertical
         self.wire_width = wire_width
-        self.track_pitch = track_pitch
+        self.spacing = spacing
+        self.stub_width = stub_width
+        self.stub_spacing = stub_spacing
+        #: When set, same-edge pins of different nets closer than the stub
+        #: pitch raise ROU003 up front (such channels short regardless of
+        #: track order).  Off by default for drop-in compatibility with
+        #: callers that only read the track/height report.
+        self.validate_pin_spacing = validate_pin_spacing
+        # Trunks on adjacent tracks must clear the horizontal-layer spacing.
+        self.track_pitch = (wire_width + spacing + 1 if track_pitch is None
+                           else track_pitch)
         #: Budget on track-scan steps (the quadratic part of left-edge
         #: packing); an adversarial net list terminates with
         #: :class:`~repro.diagnostics.BudgetExceeded` instead of crawling.
         self.max_steps = max_steps
+
+    @classmethod
+    def for_technology(cls, technology: Technology,
+                       layer_horizontal: str = "metal",
+                       layer_vertical: str = "poly", **kw) -> "ChannelRouter":
+        """Derive wire widths, spacings and pitch from the technology rules."""
+        rules = technology.rules
+        width = rules.min_width(layer_horizontal, default=3)
+        spacing = rules.min_spacing(layer_horizontal, default=3)
+        stub_width = rules.min_width(layer_vertical, default=2)
+        stub_spacing = rules.min_spacing(layer_vertical, default=2)
+        kw.setdefault("validate_pin_spacing", True)
+        return cls(layer_horizontal=layer_horizontal,
+                   layer_vertical=layer_vertical,
+                   wire_width=width, spacing=spacing,
+                   stub_width=stub_width, stub_spacing=stub_spacing, **kw)
+
+    # -- routing --------------------------------------------------------------------
 
     def route(self, cell: Cell, nets: Sequence[ChannelNet],
               bottom_y: int, top_y: Optional[int] = None) -> ChannelResult:
@@ -80,62 +148,302 @@ class ChannelRouter:
 
         If ``top_y`` is omitted the channel is sized to fit the tracks used
         and top terminals are assumed to sit just above the last track.
+        Raises :class:`ChannelRoutingError` when the pin positions conflict
+        (same-edge pins of different nets closer than a stub pitch) or a
+        vertical-constraint cycle survives doglegging.
         """
         for net in nets:
             net.validate()
+        if self.validate_pin_spacing:
+            self._check_pin_conflicts(nets)
 
-        # Left-edge track assignment.
         budget = Budget(iterations=self.max_steps, label="channel routing",
                         code="ROU001")
-        ordered = sorted(nets, key=lambda net: (net.left, net.right))
-        track_right_edge: List[int] = []      # rightmost x occupied per track
-        track_of_net: Dict[str, int] = {}
-        for net in ordered:
-            placed = False
-            for track_index, right_edge in enumerate(track_right_edge):
-                budget.tick("channel routing exceeded its track-scan budget")
-                if net.left > right_edge:
-                    track_right_edge[track_index] = net.right
-                    track_of_net[net.name] = track_index
-                    placed = True
-                    break
-            if not placed:
-                track_right_edge.append(net.right)
-                track_of_net[net.name] = len(track_right_edge) - 1
+        intervals = [_Interval(net, net.left, net.right,
+                               list(net.bottom_pins), list(net.top_pins))
+                     for net in nets]
+        below = self._vertical_constraints(intervals)
+        intervals, below, doglegs = self._break_cycles(intervals, below, budget)
+        tracks_used = self._assign_tracks(intervals, below, budget)
 
-        tracks_used = len(track_right_edge)
         channel_height = (tracks_used + 1) * self.track_pitch
         if top_y is None:
             top_y = bottom_y + channel_height
 
-        # Draw the wires.
-        total_length = 0
-        for net in nets:
-            track_y = bottom_y + (track_of_net[net.name] + 1) * self.track_pitch
-            left, right = net.left, net.right
-            if left != right:
-                cell.add_wire(self.layer_horizontal,
-                              [Point(left, track_y), Point(right, track_y)],
-                              self.wire_width)
-                total_length += right - left
-            for x in net.bottom_pins:
-                if track_y != bottom_y:
-                    cell.add_wire(self.layer_vertical,
-                                  [Point(x, bottom_y), Point(x, track_y)], 2)
-                    total_length += track_y - bottom_y
-            for x in net.top_pins:
-                if top_y != track_y:
-                    cell.add_wire(self.layer_vertical,
-                                  [Point(x, track_y), Point(x, top_y)], 2)
-                    total_length += top_y - track_y
-
+        shapes_of_net: Dict[str, List] = {}
+        total_length = self._draw(cell, intervals, bottom_y, top_y,
+                                  shapes_of_net)
+        track_of_net: Dict[str, int] = {}
+        for interval in intervals:
+            current = track_of_net.get(interval.net.name)
+            track = interval.track if interval.track is not None else 0
+            track_of_net[interval.net.name] = (track if current is None
+                                               else min(current, track))
         return ChannelResult(
             track_of_net=track_of_net,
             tracks_used=tracks_used,
             channel_height=channel_height,
             total_wire_length=total_length,
             density=_channel_density(nets),
+            doglegs=doglegs,
+            shapes_of_net=shapes_of_net,
         )
+
+    # -- constraint analysis ----------------------------------------------------------
+
+    @property
+    def _stub_pitch(self) -> int:
+        return self.stub_width + self.stub_spacing
+
+    def _check_pin_conflicts(self, nets: Sequence[ChannelNet]) -> None:
+        """Same-edge pins of different nets must be a stub pitch apart.
+
+        Two bottom (or two top) stubs rise from the same edge, so their
+        vertical extents always overlap; columns closer than stub width +
+        stub spacing short or violate spacing no matter the track order.
+        """
+        for edge in ("bottom_pins", "top_pins"):
+            columns: List[Tuple[int, str]] = []
+            for net in nets:
+                columns.extend((x, net.name) for x in getattr(net, edge))
+            columns.sort()
+            for (x1, n1), (x2, n2) in zip(columns, columns[1:]):
+                if n1 != n2 and x2 - x1 < self._stub_pitch:
+                    raise ChannelRoutingError(
+                        f"{edge.split('_')[0]} pins of nets {n1!r} and {n2!r} "
+                        f"at x={x1} and x={x2} are closer than the stub pitch "
+                        f"({self._stub_pitch})",
+                        Diagnostic(Severity.ERROR, "ROU003",
+                                   f"channel pin conflict between {n1!r} and {n2!r}",
+                                   hint="move the pins at least a stub pitch apart"))
+
+    def _vertical_constraints(self, intervals: Sequence[_Interval],
+                              ) -> Dict[int, Set[int]]:
+        """``below[j] = {i...}``: interval i must sit on a lower track than j.
+
+        A bottom stub spans from the channel floor up to its net's track and
+        a top stub from its net's track up to the ceiling; when the columns
+        are within a stub pitch the bottom net must be below the top net.
+        """
+        below: Dict[int, Set[int]] = {index: set() for index in range(len(intervals))}
+        for i, a in enumerate(intervals):
+            for j, b in enumerate(intervals):
+                if i == j or a.net.name == b.net.name:
+                    continue
+                for xb in a.bottom_pins:
+                    for xt in b.top_pins:
+                        if abs(xb - xt) < self._stub_pitch:
+                            below[j].add(i)
+        return below
+
+    def _break_cycles(self, intervals: List[_Interval],
+                      below: Dict[int, Set[int]], budget: Budget,
+                      ) -> Tuple[List[_Interval], Dict[int, Set[int]], int]:
+        """Split nets caught in vertical-constraint cycles (doglegging)."""
+        doglegs = 0
+        while True:
+            cycle = _find_cycle(below)
+            if cycle is None:
+                return intervals, below, doglegs
+            budget.tick("channel routing exceeded its budget while doglegging")
+            split_index = self._splittable(intervals, cycle)
+            if split_index is None:
+                names = [intervals[i].net.name for i in cycle]
+                raise ChannelRoutingError(
+                    f"vertical constraint cycle between nets {names} cannot "
+                    f"be broken by doglegs",
+                    Diagnostic(Severity.ERROR, "ROU002",
+                               f"unroutable channel: constraint cycle {names}",
+                               hint="reorder the pins or widen the channel"))
+            intervals = self._split(intervals, split_index)
+            below = self._vertical_constraints(intervals)
+            doglegs += 1
+
+    def _splittable(self, intervals: Sequence[_Interval],
+                    cycle: Sequence[int]) -> Optional[int]:
+        """An interval in the cycle that has pins on both edges to separate."""
+        for index in cycle:
+            interval = intervals[index]
+            if (interval.dogleg is None and interval.bottom_pins
+                    and interval.top_pins):
+                return index
+        return None
+
+    def _split(self, intervals: List[_Interval], index: int) -> List[_Interval]:
+        """Split one interval at a clear dogleg column into two pieces."""
+        victim = intervals[index]
+        column = self._dogleg_column(intervals, victim)
+        if column is None:
+            raise ChannelRoutingError(
+                f"no clear dogleg column for net {victim.net.name!r}",
+                Diagnostic(Severity.ERROR, "ROU002",
+                           f"unroutable channel: net {victim.net.name!r} has "
+                           f"no free dogleg column"))
+        bottom = _Interval(victim.net,
+                           min(victim.bottom_pins + [column]),
+                           max(victim.bottom_pins + [column]),
+                           list(victim.bottom_pins), [], dogleg=column)
+        top = _Interval(victim.net,
+                        min(victim.top_pins + [column]),
+                        max(victim.top_pins + [column]),
+                        [], list(victim.top_pins), dogleg=column)
+        return intervals[:index] + [bottom, top] + intervals[index + 1:]
+
+    def _dogleg_column(self, intervals: Sequence[_Interval],
+                       victim: _Interval) -> Optional[int]:
+        """A column inside the victim's span clear of every foreign stub."""
+        foreign: List[int] = []
+        for interval in intervals:
+            if interval.net.name == victim.net.name:
+                continue
+            foreign.extend(interval.bottom_pins)
+            foreign.extend(interval.top_pins)
+            if interval.dogleg is not None:
+                foreign.append(interval.dogleg)
+        pitch = self._stub_pitch
+        centre = (victim.left + victim.right) // 2
+        candidates = sorted(range(victim.left, victim.right + 1),
+                            key=lambda x: abs(x - centre))
+        for x in candidates:
+            if all(abs(x - fx) >= pitch for fx in foreign):
+                return x
+        return None
+
+    # -- track assignment ------------------------------------------------------------
+
+    def _assign_tracks(self, intervals: List[_Interval],
+                       below: Dict[int, Set[int]], budget: Budget) -> int:
+        """Constrained left-edge packing, bottom track first."""
+        order = sorted(range(len(intervals)),
+                       key=lambda i: (intervals[i].left, intervals[i].right))
+        clearance = self.wire_width + self.spacing
+        unplaced = set(order)
+        track = 0
+        while unplaced:
+            placed_this_track = False
+            right_edge: Optional[int] = None
+            for index in order:
+                if index not in unplaced:
+                    continue
+                budget.tick("channel routing exceeded its track-scan budget")
+                interval = intervals[index]
+                # Every predecessor must already be on a strictly lower track.
+                if any(intervals[p].track is None or intervals[p].track >= track
+                       for p in below[index]):
+                    continue
+                if (right_edge is not None
+                        and interval.left - right_edge < clearance):
+                    continue
+                # A dogleg pair must not share a track (its joining stub
+                # needs a vertical run between the two trunks).
+                if interval.dogleg is not None and any(
+                        intervals[o].track == track
+                        for o in range(len(intervals))
+                        if o != index
+                        and intervals[o].net.name == interval.net.name):
+                    continue
+                interval.track = track
+                right_edge = interval.right
+                unplaced.discard(index)
+                placed_this_track = True
+            if not placed_this_track:
+                # Nothing fit on a fresh track: only possible if constraints
+                # reference unplaced intervals in a cycle (should have been
+                # doglegged) — refuse rather than loop.
+                names = sorted({intervals[i].net.name for i in unplaced})
+                raise ChannelRoutingError(
+                    f"channel routing stalled; nets {names} cannot be placed",
+                    Diagnostic(Severity.ERROR, "ROU002",
+                               f"unroutable channel: stalled on nets {names}"))
+            track += 1
+        return track
+
+    # -- drawing --------------------------------------------------------------------
+
+    def _draw(self, cell: Cell, intervals: Sequence[_Interval],
+              bottom_y: int, top_y: int,
+              shapes_of_net: Dict[str, List]) -> int:
+        total_length = 0
+        track_y_of: Dict[Tuple[str, int], int] = {}
+
+        def draw(net_name: str, layer: str, points: List[Point],
+                 width: int) -> None:
+            shape = cell.add_wire(layer, points, width)
+            shapes_of_net.setdefault(net_name, []).append(shape)
+
+        for interval in intervals:
+            track_y = bottom_y + (interval.track + 1) * self.track_pitch
+            track_y_of[(interval.net.name, 0 if interval.bottom_pins
+                        or not interval.top_pins else 1)] = track_y
+            if interval.left != interval.right:
+                draw(interval.net.name, self.layer_horizontal,
+                     [Point(interval.left, track_y),
+                      Point(interval.right, track_y)],
+                     self.wire_width)
+                total_length += interval.right - interval.left
+            for x in interval.bottom_pins:
+                if track_y != bottom_y:
+                    draw(interval.net.name, self.layer_vertical,
+                         [Point(x, bottom_y), Point(x, track_y)],
+                         self.stub_width)
+                    total_length += track_y - bottom_y
+            for x in interval.top_pins:
+                if top_y != track_y:
+                    draw(interval.net.name, self.layer_vertical,
+                         [Point(x, track_y), Point(x, top_y)],
+                         self.stub_width)
+                    total_length += top_y - track_y
+        # Join dogleg pairs with a vertical stub between their two tracks.
+        seen: Set[Tuple[str, int]] = set()
+        for interval in intervals:
+            if interval.dogleg is None:
+                continue
+            key = (interval.net.name, interval.dogleg)
+            if key in seen:
+                continue
+            seen.add(key)
+            tracks = [piece.track for piece in intervals
+                      if piece.net.name == interval.net.name
+                      and piece.dogleg == interval.dogleg]
+            low = bottom_y + (min(tracks) + 1) * self.track_pitch
+            high = bottom_y + (max(tracks) + 1) * self.track_pitch
+            if low != high:
+                shape = cell.add_wire(self.layer_vertical,
+                                      [Point(interval.dogleg, low),
+                                       Point(interval.dogleg, high)],
+                                      self.stub_width)
+                shapes_of_net.setdefault(interval.net.name, []).append(shape)
+                total_length += high - low
+        return total_length
+
+
+def _find_cycle(below: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """One cycle in the constraint digraph (an edge i -> j for i below j)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in below}
+    stack: List[int] = []
+
+    def visit(node: int) -> Optional[List[int]]:
+        colour[node] = GREY
+        stack.append(node)
+        for pred in below[node]:
+            if colour[pred] == GREY:
+                at = stack.index(pred)
+                return stack[at:]
+            if colour[pred] == WHITE:
+                found = visit(pred)
+                if found is not None:
+                    return found
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in below:
+        if colour[node] == WHITE:
+            found = visit(node)
+            if found is not None:
+                return found
+    return None
 
 
 def _channel_density(nets: Sequence[ChannelNet]) -> int:

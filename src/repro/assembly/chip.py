@@ -3,9 +3,12 @@
 This is the "task of chip assembly" the paper highlights as the clearest
 demonstration of parameterised specification: the same assembly program,
 given different core blocks and pad lists, produces a correctly composed
-chip each time.  The assembler packs the core blocks with the slicing
-floorplanner, generates a pad ring sized to fit, routes pad tails to core
-ports with simple L-shaped metal routes, and reports the area breakdown.
+chip each time.  The assembler refines the shelf-packed floorplan with the
+wirelength-driven placer, generates a pad ring sized to fit, routes pad
+tails (and inter-block connections) to core ports through the
+obstacle-aware router in :mod:`repro.pnr`, and reports the area breakdown.
+Routing failures degrade to the legacy blind L-shaped route with a ROU008
+warning (fatal under ``REPRO_STRICT=1``), so assembly always completes.
 """
 
 from __future__ import annotations
@@ -13,10 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.diagnostics import DiagnosticCollector, strict_mode
 from repro.geometry.point import Point
+from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
 from repro.assembly.floorplan import Floorplan, pack_shelves
 from repro.assembly.padframe import PadRing, PadSpec
+from repro.technology.layers import LayerPurpose
 from repro.technology.technology import Technology
 from repro.timing.parasitics import ParasiticModel, rc_ns
 from repro.timing.switch import BlockTiming
@@ -159,7 +165,12 @@ class ChipAssembler:
         self._blocks: List[Tuple[str, Cell]] = []
         self._pads: List[PadSpec] = []
         self._connections: List[Tuple[str, Tuple[str, str]]] = []
+        self._block_connections: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
         self.report: Optional[ChipReport] = None
+        self.placement_report = None
+        self.routing_report = None
+        #: Warnings raised during assembly (routing fallbacks and the like).
+        self.diagnostics = DiagnosticCollector()
         self._chip: Optional[Cell] = None
         #: (pad, block, port, length, width) of every drawn pad route.
         self._route_info: List[Tuple[str, str, str, int, int]] = []
@@ -182,17 +193,50 @@ class ChipAssembler:
         self.add_pad("vdd", "vdd")
         self.add_pad("gnd", "gnd")
 
+    def add_connection(self, a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        """Connect two core block ports: ``(block, port)`` to ``(block, port)``.
+
+        Inter-block connections participate in placement (pulling connected
+        blocks together) and are routed by the same obstacle-aware router
+        as the pad connections.
+        """
+        self._block_connections.append((a, b))
+
     # -- assembly ---------------------------------------------------------------------------
+
+    def route_style(self) -> Tuple[str, int, int]:
+        """Routing layer, wire width and spacing derived from the technology.
+
+        The chip-level routing layer is the technology's metal (the only
+        layer that crosses poly and diffusion without interacting), and the
+        drawn width/spacing are exactly the layer's minimum rules, so DRC
+        and the router agree by construction.
+        """
+        layer = next((l.name for l in self.technology.layers
+                      if l.purpose is LayerPurpose.METAL), "metal")
+        rules = self.technology.rules
+        return (layer, rules.min_width(layer, default=3),
+                rules.min_spacing(layer, default=3))
 
     def assemble(self) -> Cell:
         """Produce the chip cell (core + pad ring + pad-to-core routing)."""
+        # Imported here: repro.pnr builds on the floorplan/river modules of
+        # this package, so a module-level import would be circular.
+        from repro.pnr import RouteRequest, refine_placement
+        from repro.pnr.router import PnrRouter
+
         if not self._blocks:
             raise ValueError("chip has no core blocks")
         if not self._pads:
             raise ValueError("chip has no pads")
 
-        # 1. Floorplan the core.
-        floorplan = pack_shelves(self._blocks)
+        # 1. Floorplan the core: shelf packing refined by the annealing
+        # placer over the connection list (pads anchored at their sides).
+        connections = ([(pad, target) for pad, target in self._connections]
+                       + list(self._block_connections))
+        self.placement_report = refine_placement(
+            self._blocks, connections, self._pads)
+        floorplan = self.placement_report.floorplan
         core = Cell(f"{self.name}_core")
         placements = floorplan.realise(core)
 
@@ -202,34 +246,79 @@ class ChipAssembler:
         core_origin = ring.core_origin
         chip.place(core, core_origin.x, core_origin.y, name="core")
 
-        # 3. Route each connected pad to its core port with an L-shaped wire.
-        routed = 0
-        total_length = 0
-        self._route_info = []
+        # 3. Route through the obstacle-aware router: blocked by everything
+        # already drawn on the routing layer, each net blocking the next.
+        layer, route_width, route_spacing = self.route_style()
         pad_position = {p.spec.name: p.core_position for p in ring.placements}
-        for pad_name, (block_name, port_name) in self._connections:
-            if pad_name not in pad_position:
-                raise KeyError(f"no pad named {pad_name!r}")
+        pad_side = {p.spec.name: p.side for p in ring.placements}
+
+        def port_position(block_name: str, port_name: str) -> Point:
             placement = placements.get(block_name)
             if placement is None:
                 raise KeyError(f"no core block named {block_name!r}")
             block_cell = placement.item.cell
             if not block_cell.has_port(port_name):
                 raise KeyError(f"block {block_name!r} has no port {port_name!r}")
-            local = placement.instance.transform.apply(block_cell.port(port_name).position)
-            target = Point(local.x + core_origin.x, local.y + core_origin.y)
-            source = pad_position[pad_name]
-            points = [source, Point(source.x, target.y), target]
-            if source.x == target.x or source.y == target.y:
-                points = [source, target]
-            route_width = 4
-            chip.add_wire("metal", points, route_width)
-            length = sum(abs(a.x - b.x) + abs(a.y - b.y)
-                         for a, b in zip(points, points[1:]))
-            total_length += length
-            self._route_info.append((pad_name, block_name, port_name, length,
-                                     route_width))
-            routed += 1
+            local = placement.instance.transform.apply(
+                block_cell.port(port_name).position)
+            return Point(local.x + core_origin.x, local.y + core_origin.y)
+
+        requests: List[Tuple[RouteRequest, Optional[Tuple[str, str, str]]]] = []
+        for pad_name, (block_name, port_name) in self._connections:
+            if pad_name not in pad_position:
+                raise KeyError(f"no pad named {pad_name!r}")
+            requests.append((RouteRequest(
+                name=pad_name,
+                source=pad_position[pad_name],
+                target=port_position(block_name, port_name),
+                side=pad_side[pad_name],
+            ), (pad_name, block_name, port_name)))
+        for index, (a, b) in enumerate(self._block_connections):
+            requests.append((RouteRequest(
+                name=f"net_{a[0]}.{a[1]}__{b[0]}.{b[1]}_{index}",
+                source=port_position(*a),
+                target=port_position(*b),
+            ), None))
+
+        routed = 0
+        total_length = 0
+        self._route_info = []
+        if requests:
+            from repro.layout.flatten import flatten_cell
+
+            bounds = Rect(0, 0, ring.total_width, ring.total_height)
+            obstacles = flatten_cell(chip).rects_by_layer().get(layer, [])
+            router = PnrRouter(self.technology, bounds, obstacles, layer=layer)
+            self.routing_report = router.route_all(
+                chip, [request for request, _ in requests])
+            lengths = {net.name: net.length for net in self.routing_report.routed}
+            # Any failure degrades to the legacy blind L-route — loudly, and
+            # fatally under REPRO_STRICT=1 (the legacy route is exactly the
+            # kind of silent short this subsystem exists to prevent).
+            for request, error in self.routing_report.failed:
+                if strict_mode():
+                    raise error
+                self.diagnostics.warning(
+                    "ROU008",
+                    f"net {request.name!r}: {type(error).__name__}: {error}; "
+                    f"falling back to the legacy L-route",
+                    hint="set REPRO_STRICT=1 to make this fatal")
+                source, target = request.source, request.target
+                points = [source, Point(source.x, target.y), target]
+                if source.x == target.x or source.y == target.y:
+                    points = [source, target]
+                chip.add_wire(layer, points, route_width)
+                lengths[request.name] = sum(
+                    abs(a.x - b.x) + abs(a.y - b.y)
+                    for a, b in zip(points, points[1:]))
+            for request, info in requests:
+                length = lengths.get(request.name, 0)
+                total_length += length
+                routed += 1
+                if info is not None:
+                    pad_name, block_name, port_name = info
+                    self._route_info.append((pad_name, block_name, port_name,
+                                             length, route_width))
 
         bbox = chip.bbox()
         self.report = ChipReport(

@@ -86,13 +86,15 @@ class CellInstancePlacement:
 
 
 def pack_shelves(cells: Sequence[Tuple[str, Cell]], max_width: Optional[int] = None,
-                 spacing: int = 10) -> Floorplan:
+                 spacing: int = 10, keep_order: bool = False) -> Floorplan:
     """Pack blocks onto shelves.
 
     Blocks are sorted by decreasing height and placed left to right; when a
     block would exceed ``max_width`` a new shelf is started.  ``max_width``
     defaults to roughly the square root of the total block area, giving a
-    near-square chip.
+    near-square chip.  ``keep_order`` skips the height sort and packs the
+    blocks in the order given — the knob the annealing placer turns: it
+    explores permutations of the block list, so the packer must honour them.
     """
     items = [FloorplanItem(cell, name) for name, cell in cells]
     if not items:
@@ -103,7 +105,8 @@ def pack_shelves(cells: Sequence[Tuple[str, Cell]], max_width: Optional[int] = N
         widest = max(item.width for item in items)
         max_width = max(widest, int(total_area ** 0.5 * 1.2))
 
-    ordered = sorted(items, key=lambda item: item.height, reverse=True)
+    ordered = items if keep_order else sorted(
+        items, key=lambda item: item.height, reverse=True)
     shelf_x = 0
     shelf_y = 0
     shelf_height = 0

@@ -118,17 +118,23 @@ class PadRing:
                        "vdd": "supply", "gnd": "supply"}.get(spec.kind, "inout"))
 
     def _distribute(self) -> Dict[str, List[PadSpec]]:
-        """Deal pads to the four sides round-robin, supplies first.
-
-        Supplies go first so VDD and GND land on different sides (reducing
-        supply-rail coupling), which was standard practice for the era.
-        """
-        ordered = sorted(self.pads, key=lambda spec: spec.kind not in ("vdd", "gnd"))
-        sides: Dict[str, List[PadSpec]] = {"south": [], "east": [], "north": [], "west": []}
-        order = ["south", "east", "north", "west"]
-        for index, spec in enumerate(ordered):
-            sides[order[index % 4]].append(spec)
-        return sides
+        return distribute_pads(self.pads)
 
     def pad_count(self) -> int:
         return len(self.pads)
+
+
+def distribute_pads(pads: Sequence[PadSpec]) -> Dict[str, List[PadSpec]]:
+    """Deal pads to the four sides round-robin, supplies first.
+
+    Supplies go first so VDD and GND land on different sides (reducing
+    supply-rail coupling), which was standard practice for the era.  The
+    assignment is deterministic, so the placement refiner can predict which
+    side a pad will land on before the ring is actually built.
+    """
+    ordered = sorted(pads, key=lambda spec: spec.kind not in ("vdd", "gnd"))
+    sides: Dict[str, List[PadSpec]] = {"south": [], "east": [], "north": [], "west": []}
+    order = ["south", "east", "north", "west"]
+    for index, spec in enumerate(ordered):
+        sides[order[index % 4]].append(spec)
+    return sides

@@ -3,23 +3,27 @@
 River routing is the Mead-style answer to wiring management: if two cells
 are designed so their connection points appear in the same order along the
 facing edges, the connections can be made with non-crossing wires in a
-channel whose height depends only on the maximum lateral displacement.  The
-router takes the two terminal lists (already in order), checks
-planarity, and emits one metal wire per connection plus the channel height
-it needed.
+channel whose height depends only on how many connections actually need to
+jog sideways.  The router takes the two terminal lists (already in order),
+checks planarity, and emits one metal wire per connection plus the channel
+height it needed: straight connections run directly across and use no
+track, so a perfectly aligned interface costs no channel area at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from repro.diagnostics import Diagnostic, DiagnosticError, Severity
 from repro.geometry.point import Point
 from repro.layout.cell import Cell
 
 
-class RiverRoutingError(ValueError):
+class RiverRoutingError(DiagnosticError, ValueError):
     """Raised when the terminal orderings would force wires to cross."""
+
+    default_code = "ROU004"
 
 
 @dataclass
@@ -29,19 +33,30 @@ class RiverRoute:
     wires: List[List[Point]]
     channel_height: int
     total_length: int
+    tracks_used: int = 0
 
 
 def river_route(cell: Cell, bottom_terminals: Sequence[Point],
                 top_terminals: Sequence[Point], layer: str = "metal",
                 wire_width: int = 3, pitch: int = 7,
-                start_y: int = 0) -> RiverRoute:
+                start_y: int = 0,
+                spacing: Optional[int] = None) -> RiverRoute:
     """Route each bottom terminal to the same-index top terminal.
 
     Terminals must be given left-to-right in the same connection order on
     both edges (that is the planarity condition of river routing); the
     function raises :class:`RiverRoutingError` otherwise.  Wires are drawn
-    into ``cell`` on ``layer``; each wire occupies its own horizontal track
-    so no two wires touch even when they jog in opposite directions.
+    into ``cell`` on ``layer``.  Straight connections run directly between
+    their terminals; only jogged connections take a horizontal track, and
+    the channel height reported is ``(jogged + 1) * pitch`` (``0`` when
+    every connection is straight).  Jogs shifting right are stacked top
+    track first and jogs shifting left bottom track first, which keeps the
+    wires non-crossing whenever the terminals are planar.
+
+    When ``spacing`` is given, terminals on the same edge must additionally
+    be at least ``wire_width + spacing`` apart so adjacent vertical runs
+    meet the technology's spacing rule; violations raise
+    :class:`RiverRoutingError` (code ROU004) instead of emitting shorts.
     """
     if len(bottom_terminals) != len(top_terminals):
         raise RiverRoutingError(
@@ -54,18 +69,42 @@ def river_route(cell: Cell, bottom_terminals: Sequence[Point],
     top_xs = [p.x for p in top_terminals]
     if bottom_xs != sorted(bottom_xs) or top_xs != sorted(top_xs):
         raise RiverRoutingError("terminals must be ordered left to right on both edges")
+    if spacing is not None:
+        min_pitch = wire_width + spacing
+        for edge, xs in (("bottom", bottom_xs), ("top", top_xs)):
+            for x1, x2 in zip(xs, xs[1:]):
+                if x2 - x1 < min_pitch:
+                    raise RiverRoutingError(
+                        f"{edge} terminals at x={x1} and x={x2} are closer "
+                        f"than wire width + spacing ({min_pitch})",
+                        Diagnostic(Severity.ERROR, "ROU004",
+                                   f"river terminals too close on {edge} edge",
+                                   hint="spread the terminals or narrow the wires"))
 
-    count = len(bottom_terminals)
-    channel_height = (count + 1) * pitch
+    # Tracks are only needed by jogged connections.  Right-shifting jogs are
+    # assigned from the top of the channel downwards and left-shifting jogs
+    # from the bottom upwards: a right-shifter's trunk then stays clear of
+    # every later (more rightward) vertical run, and symmetrically for the
+    # left-shifters, so planar terminal orders route without crossings.
+    jogged = [i for i, (b, t) in enumerate(zip(bottom_terminals, top_terminals))
+              if b.x != t.x]
+    tracks_used = len(jogged)
+    channel_height = (tracks_used + 1) * pitch if tracks_used else 0
+    track_of: dict = {}
+    rightward = [i for i in jogged if top_terminals[i].x > bottom_terminals[i].x]
+    leftward = [i for i in jogged if top_terminals[i].x < bottom_terminals[i].x]
+    for slot, index in enumerate(rightward):
+        track_of[index] = tracks_used - 1 - slot
+    for slot, index in enumerate(leftward):
+        track_of[index] = slot
+
     wires: List[List[Point]] = []
     total_length = 0
     for index, (bottom, top) in enumerate(zip(bottom_terminals, top_terminals)):
-        # Each connection jogs on its own track; straight connections may
-        # also use the track (keeps the router simple and obviously planar).
-        track_y = start_y + (index + 1) * pitch
         if bottom.x == top.x:
             points = [bottom, top]
         else:
+            track_y = start_y + (track_of[index] + 1) * pitch
             points = [
                 bottom,
                 Point(bottom.x, track_y),
@@ -75,7 +114,7 @@ def river_route(cell: Cell, bottom_terminals: Sequence[Point],
         cell.add_wire(layer, points, wire_width)
         wires.append(points)
         total_length += _length(points)
-    return RiverRoute(wires, channel_height, total_length)
+    return RiverRoute(wires, channel_height, total_length, tracks_used)
 
 
 def _length(points: Sequence[Point]) -> int:

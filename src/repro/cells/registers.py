@@ -81,16 +81,17 @@ class RegisterBitCell(ParameterizedCell):
         slave_instance = cell.place(slave, slave_x, 0, name="slave")
 
         # Metal link from master output to slave input (via a contact down to
-        # the slave's input diffusion).
+        # the slave's input diffusion).  One solid plate covers the jog from
+        # the inverter output down to the contact, so the link never runs a
+        # sub-spacing sliver alongside the inverter's own output metal.
         m_out = master_instance.port_position("out")
         s_in = slave_instance.port_position("in")
-        cell.add_wire("metal", [m_out, Point(s_in.x - 2, m_out.y)], 3)
         contact_center = Point(s_in.x - 2, s_in.y)
         cell.add_rect("contact", Rect.from_center(contact_center, 2, 2))
-        cell.add_rect("metal", Rect.from_center(contact_center, 4, 4))
         cell.add_rect("diffusion", Rect.from_center(contact_center, 4, 4))
-        if m_out.y != s_in.y:
-            cell.add_wire("metal", [Point(s_in.x - 2, m_out.y), contact_center], 3)
+        low = min(m_out.y, s_in.y)
+        high = max(m_out.y, s_in.y)
+        cell.add_rect("metal", Rect(m_out.x - 1, low - 2, s_in.x, high + 2))
 
         cell.add_port("in", master_instance.port_position("in"), "diffusion", "input")
         cell.add_port("out", slave_instance.port_position("out"), "metal", "output")

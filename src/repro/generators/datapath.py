@@ -32,6 +32,19 @@ _COLUMN_KINDS = {
     "constant": 1,    # emit constant
 }
 
+#: X offset of each control wire within its column, chosen per column kind so
+#: every wire either lands exactly on the gate poly it drives (touching =
+#: connected) or clears all foreign poly and diffusion by the full spacing
+#: rule — a wire one lambda off a gate is a short waiting for mask misalignment.
+_CONTROL_WIRE_OFFSETS = {
+    "register": (1, 5),
+    "adder": (1, 5, 45),
+    "shifter": (1, 5),
+    "mux": (1, 5),
+    "bus": (1,),
+    "constant": (2,),
+}
+
 
 @dataclass(frozen=True)
 class DatapathColumn:
@@ -107,7 +120,7 @@ class DatapathGenerator(ParameterizedCell):
             total_transistors += self.bits * self._slice_transistors(column)
             # Vertical control wires in poly over the column.
             for wire_index in range(column.control_wires):
-                wire_x = x_position + 2 + 3 * wire_index
+                wire_x = x_position + _CONTROL_WIRE_OFFSETS[column.kind][wire_index]
                 cell.add_wire("poly", [Point(wire_x, 0),
                                        Point(wire_x, self.bits * row_height)], 2)
                 cell.add_port(f"{column.name}_ctl{wire_index}", Point(wire_x, 0),
@@ -183,12 +196,13 @@ class DatapathGenerator(ParameterizedCell):
             cell.add_rect("poly", Rect(x - 2, 14 + 4 * index, x + 6, 16 + 4 * index))
             cell.add_rect("implant", Rect(x - 1, height - 16, x + 5, height - 10))
             cell.add_rect("buried", Rect(x, height - 20, x + 4, height - 16))
-        # Sum stage.
+        # Sum stage.  The output strap metal clears the bit's supply rails by
+        # the full metal spacing, with the contact a lambda inside it.
         cell.add_rect("diffusion", Rect(36, 6, 40, height - 10))
         cell.add_rect("poly", Rect(34, 20, 42, 22))
         cell.add_rect("implant", Rect(35, height - 16, 41, height - 10))
-        cell.add_rect("contact", Rect(37, 7, 39, 9))
-        cell.add_rect("metal", Rect(36, 6, 40, 10))
+        cell.add_rect("contact", Rect(37, 8, 39, 10))
+        cell.add_rect("metal", Rect(36, 7, 40, 11))
         cell.add_port("a", Point(13, 1), "poly", "input")
         cell.add_port("b", Point(21, 1), "poly", "input")
         cell.add_port("carry_in", Point(6, 1), "diffusion", "input")
@@ -201,8 +215,9 @@ class DatapathGenerator(ParameterizedCell):
         pass_cell = PassTransistorCell(self.technology).cell()
         cell = Cell("dp_shifter_bit")
         cell.place(pass_cell, 0, 4, name="left")
-        cell.place(pass_cell, pass_cell.width + 2, 4, name="right")
-        width = 2 * pass_cell.width + 4
+        # A full diffusion spacing between the two pass transistors.
+        cell.place(pass_cell, pass_cell.width + 3, 4, name="right")
+        width = 2 * pass_cell.width + 5
         cell.add_rect("metal", Rect(0, 0, width, 3))
         cell.add_port("in", Point(1, 5), "diffusion", "input")
         cell.add_port("out", Point(width - 1, 5), "diffusion", "output")

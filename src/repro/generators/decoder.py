@@ -37,7 +37,9 @@ class DecoderGenerator(ParameterizedCell):
     name_prefix = "decoder"
 
     address_bits = Parameter(kind=int, default=3, minimum=1, maximum=10)
-    pitch = Parameter(kind=int, default=8, minimum=6)
+    # 10 lambda is the smallest pitch where a contacted crosspoint clears the
+    # Mead & Conway spacing/enclosure rules (see the PLA generator).
+    pitch = Parameter(kind=int, default=10, minimum=10)
 
     def __init__(self, technology, **parameters):
         super().__init__(technology, **parameters)
@@ -94,22 +96,24 @@ class DecoderGenerator(ParameterizedCell):
 
     def _crosspoint(self, connected: bool) -> Cell:
         pitch = self.pitch
+        c = pitch // 2
         suffix = "x" if connected else "o"
         cell = Cell(f"dec_xp_{suffix}_{pitch}")
-        cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, pitch))
-        cell.add_rect("metal", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        cell.add_rect("poly", Rect(c - 1, 0, c + 1, pitch))
+        cell.add_rect("metal", Rect(0, c - 2, pitch, c + 2))
         if connected:
-            cell.add_rect("diffusion",
-                          Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
-            cell.add_rect("contact",
-                          Rect(pitch // 2 + 1, pitch // 2 - 1, pitch // 2 + 3, pitch // 2 + 1))
+            # The strap contact abuts the gate poly and is enclosed by a full
+            # lambda of metal and diffusion (same brick as the PLA AND plane).
+            cell.add_rect("diffusion", Rect(c - 4, c - 2, c + 3, c + 2))
+            cell.add_rect("contact", Rect(c - 3, c - 1, c - 1, c + 1))
         return cell
 
     def _pullup(self) -> Cell:
         pitch = self.pitch
+        c = pitch // 2
         cell = Cell(f"dec_pullup_{pitch}")
-        cell.add_rect("diffusion", Rect(2, pitch // 2 - 2, pitch - 1, pitch // 2 + 2))
-        cell.add_rect("poly", Rect(3, pitch // 2 - 3, 7, pitch // 2 + 3))
-        cell.add_rect("implant", Rect(2, pitch // 2 - 4, 8, pitch // 2 + 4))
-        cell.add_rect("metal", Rect(pitch - 3, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        cell.add_rect("diffusion", Rect(2, c - 2, pitch - 3, c + 2))
+        cell.add_rect("poly", Rect(3, c - 3, 7, c + 3))
+        cell.add_rect("implant", Rect(1, c - 5, 9, c + 5))
+        cell.add_rect("metal", Rect(pitch - 3, c - 2, pitch, c + 2))
         return cell

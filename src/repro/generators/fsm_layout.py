@@ -93,9 +93,12 @@ class FsmLayoutGenerator(ParameterizedCell):
             if pla_cell.has_port(present_name):
                 back_target = pla_cell.port(present_name).position
                 back_source = instance.transform.apply(register_bit.port("out").position)
+                # The return rail runs 6 lambda below the input port row so it
+                # clears the register gnd rails and the next-state drops by
+                # the full metal spacing.
                 cell.add_wire("metal",
-                              [back_source, Point(back_source.x, back_target.y - 4),
-                               Point(back_target.x, back_target.y - 4), back_target], 3)
+                              [back_source, Point(back_source.x, back_target.y - 6),
+                               Point(back_target.x, back_target.y - 6), back_target], 3)
 
         # Re-export the machine's primary inputs and outputs.
         for input_name in self.fsm.inputs:

@@ -35,11 +35,15 @@ from repro.technology.technology import Technology
 class PlaStyle(Enum):
     """Crosspoint pitch styles (an area/robustness trade-off)."""
 
-    COMPACT = "compact"    # 8 lambda pitch
-    RELAXED = "relaxed"    # 10 lambda pitch
+    COMPACT = "compact"    # 10 lambda pitch (the DRC-clean minimum)
+    RELAXED = "relaxed"    # 12 lambda pitch
 
 
-_PITCH_OF_STYLE = {PlaStyle.COMPACT: 8, PlaStyle.RELAXED: 10}
+# A crosspoint needs contact (2) + enclosure (2) + poly (2) + terminal (1)
+# = 7 lambda of diffusion per pitch, and S.D.D=3 to the next column's, so
+# 10 lambda is the smallest legal pitch; "relaxed" adds a lambda of slack
+# on every constraint.
+_PITCH_OF_STYLE = {PlaStyle.COMPACT: 10, PlaStyle.RELAXED: 12}
 
 
 @dataclass
@@ -149,9 +153,11 @@ class PlaGenerator(ParameterizedCell):
                                      lambda: self._output_buffer(pitch))
 
         driver_height = driver.height
-        pullup_width = pullup.width
 
-        and_x0 = pullup_width
+        # The pullup's drain strap ends at pitch + 2 exactly; start the AND
+        # plane there so the strap abuts the first term-row metal.  (The
+        # pullup *bbox* starts at x=3, so its width is not the right offset.)
+        and_x0 = pitch + 2
         and_y0 = driver_height
         and_width = 2 * num_inputs * pitch
         or_x0 = and_x0 + and_width + pitch  # one pitch of separation
@@ -230,39 +236,44 @@ class PlaGenerator(ParameterizedCell):
 
     # -- brick cells -----------------------------------------------------------------------
 
-    def _and_crosspoint(self, connected: bool, pitch: int = 8) -> Cell:
+    def _and_crosspoint(self, connected: bool, pitch: int = 10) -> Cell:
         suffix = "x" if connected else "o"
+        c = pitch // 2
         cell = Cell(f"pla_and_{suffix}_{pitch}")
         # Vertical poly input column.
-        cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, pitch))
+        cell.add_rect("poly", Rect(c - 1, 0, c + 1, pitch))
         # Horizontal metal term row.
-        cell.add_rect("metal", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 2))
+        cell.add_rect("metal", Rect(0, c - 2, pitch, c + 2))
         if connected:
             # Pulldown transistor: diffusion under the poly column, strapped
-            # to the term row by a contact.
-            cell.add_rect("diffusion", Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
-            cut = Rect(pitch // 2 + 1, pitch // 2 - 1, pitch // 2 + 3, pitch // 2 + 1)
-            cell.add_rect("contact", cut)
+            # to the term row by a contact on the source side.  The cut abuts
+            # the gate poly (touching = connected) rather than overlapping it,
+            # and sits 1 lambda inside both the metal row and the diffusion.
+            cell.add_rect("diffusion", Rect(c - 4, c - 2, c + 3, c + 2))
+            cell.add_rect("contact", Rect(c - 3, c - 1, c - 1, c + 1))
         return cell
 
-    def _or_crosspoint(self, connected: bool, pitch: int = 8) -> Cell:
+    def _or_crosspoint(self, connected: bool, pitch: int = 10) -> Cell:
         suffix = "x" if connected else "o"
+        c = pitch // 2
         cell = Cell(f"pla_or_{suffix}_{pitch}")
         # Vertical metal output column.
-        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, pitch))
+        cell.add_rect("metal", Rect(c - 1, 0, c + 3, pitch))
         # Horizontal poly term row (the term drives OR-plane gates).
-        cell.add_rect("poly", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 1))
+        cell.add_rect("poly", Rect(0, c - 1, pitch, c + 1))
         if connected:
-            cell.add_rect("diffusion", Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
-            cut = Rect(pitch // 2 - 3, pitch // 2 - 1, pitch // 2 - 1, pitch // 2 + 1)
-            cell.add_rect("contact", cut)
+            # Diffusion tops out flush with the term poly so the transistor
+            # has a single source terminal below the gate; the cut abuts the
+            # poly row and is enclosed by metal and diffusion.
+            cell.add_rect("diffusion", Rect(c - 1, c - 4, c + 3, c + 1))
+            cell.add_rect("contact", Rect(c, c - 3, c + 2, c - 1))
         return cell
 
     def _input_driver(self, pitch: int) -> Cell:
         """True/complement driver: a two-inverter column feeding two poly lines."""
         cell = Cell(f"pla_driver_{pitch}")
         height = 3 * pitch
-        # Input poly stub at the bottom.
+        # Input poly stub at the bottom (abuts the first inverter's diffusion).
         cell.add_rect("poly", Rect(pitch // 2 - 1, 0, pitch // 2 + 1, 4))
         # Two inverters represented by their active regions.
         for column in range(2):
@@ -275,14 +286,20 @@ class PlaGenerator(ParameterizedCell):
         return cell
 
     def _term_pullup(self, pitch: int) -> Cell:
-        """Depletion pullup for one term row."""
+        """Depletion pullup for one term row.
+
+        The drain strap metal runs out to ``x = pitch + 2`` where the AND
+        plane's term row begins (the two abut, so the row is connected); the
+        gate-to-drain contact abuts the gate poly and clears the vdd rail by
+        the full metal spacing.
+        """
         cell = Cell(f"pla_pullup_{pitch}")
-        width = pitch
-        cell.add_rect("diffusion", Rect(2, pitch // 2 - 2, width - 1, pitch // 2 + 2))
-        cell.add_rect("poly", Rect(4, pitch // 2 - 3, 8, pitch // 2 + 3))
-        cell.add_rect("implant", Rect(3, pitch // 2 - 4, 9, pitch // 2 + 4))
-        cell.add_rect("metal", Rect(width - 3, pitch // 2 - 1, width, pitch // 2 + 2))
-        cell.add_rect("contact", Rect(width - 3, pitch // 2 - 1, width - 1, pitch // 2 + 1))
+        c = pitch // 2
+        cell.add_rect("diffusion", Rect(3, c - 2, c + 2, c + 2))
+        cell.add_rect("poly", Rect(c, c - 3, c + 2, c + 3))
+        cell.add_rect("implant", Rect(c - 2, c - 5, c + 4, c + 5))
+        cell.add_rect("contact", Rect(c + 2, c - 1, c + 4, c + 1))
+        cell.add_rect("metal", Rect(c + 1, c - 2, pitch + 2, c + 2))
         return cell
 
     def _output_buffer(self, pitch: int) -> Cell:
@@ -290,7 +307,7 @@ class PlaGenerator(ParameterizedCell):
         cell = Cell(f"pla_outbuf_{pitch}")
         height = 3 * pitch
         x = pitch // 2
-        cell.add_rect("metal", Rect(x - 1, 4, x + 2, height))
+        cell.add_rect("metal", Rect(x - 1, 4, x + 3, height))
         cell.add_rect("diffusion", Rect(x - 2, 6, x + 2, height - 6))
         cell.add_rect("poly", Rect(x - 3, pitch, x + 3, pitch + 2))
         cell.add_rect("implant", Rect(x - 3, 2 * pitch - 1, x + 3, 2 * pitch + 3))

@@ -44,7 +44,9 @@ class RomGenerator(ParameterizedCell):
     name_prefix = "rom"
 
     bits_per_word = Parameter(kind=int, default=8, minimum=1, maximum=64)
-    pitch = Parameter(kind=int, default=8, minimum=6)
+    # 10 lambda is the smallest pitch where a contacted bit cell clears the
+    # Mead & Conway spacing/enclosure rules (see the PLA generator).
+    pitch = Parameter(kind=int, default=10, minimum=10)
 
     def __init__(self, technology, contents: Sequence[int], **parameters):
         super().__init__(technology, **parameters)
@@ -142,23 +144,26 @@ class RomGenerator(ParameterizedCell):
 
     def _bit_cell(self, programmed: bool) -> Cell:
         pitch = self.pitch
+        c = pitch // 2
         suffix = "1" if programmed else "0"
         cell = Cell(f"rom_bit_{suffix}_{pitch}")
         # Word line: horizontal poly.  Bit line: vertical metal.
-        cell.add_rect("poly", Rect(0, pitch // 2 - 1, pitch, pitch // 2 + 1))
-        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, pitch))
+        cell.add_rect("poly", Rect(0, c - 1, pitch, c + 1))
+        cell.add_rect("metal", Rect(c - 1, 0, c + 3, pitch))
         if programmed:
-            cell.add_rect("diffusion",
-                          Rect(pitch // 2 - 3, pitch // 2 - 3, pitch // 2 + 3, pitch // 2 + 1))
-            cell.add_rect("contact",
-                          Rect(pitch // 2 - 1, pitch // 2 - 3, pitch // 2 + 1, pitch // 2 - 1))
+            # Diffusion tops out flush with the word-line poly (one source
+            # terminal); the strap contact abuts the poly and sits a lambda
+            # inside the bit-line metal and the diffusion.
+            cell.add_rect("diffusion", Rect(c - 1, c - 4, c + 3, c + 1))
+            cell.add_rect("contact", Rect(c, c - 3, c + 2, c - 1))
         return cell
 
     def _bitline_pullup(self) -> Cell:
         pitch = self.pitch
+        c = pitch // 2
         cell = Cell(f"rom_blpullup_{pitch}")
-        cell.add_rect("diffusion", Rect(pitch // 2 - 2, 2, pitch // 2 + 2, pitch - 1))
-        cell.add_rect("poly", Rect(pitch // 2 - 3, 4, pitch // 2 + 3, 8))
-        cell.add_rect("implant", Rect(pitch // 2 - 4, 3, pitch // 2 + 4, 9))
-        cell.add_rect("metal", Rect(pitch // 2 - 1, 0, pitch // 2 + 2, 4))
+        cell.add_rect("diffusion", Rect(c - 2, 2, c + 2, 7))
+        cell.add_rect("poly", Rect(c - 3, 4, c + 3, 8))
+        cell.add_rect("implant", Rect(c - 4, 3, c + 4, 9))
+        cell.add_rect("metal", Rect(c - 1, 0, c + 3, 4))
         return cell

@@ -1,0 +1,32 @@
+"""Place & route: wirelength-driven placement and obstacle-aware routing.
+
+The assembler's original flow packed blocks by height and drew blind
+L-shaped pad wires straight across the core; ``repro.pnr`` replaces both
+halves.  :mod:`repro.pnr.placement` refines the shelf packing with
+simulated annealing on half-perimeter wirelength over the pad+block
+connection list, and :mod:`repro.pnr.router` routes connections on a grid
+with a Lee/Dijkstra maze search that queries the spatial index for
+blockages — placed blocks, the pad ring, and previously routed nets —
+falling back to the planar river router inside clean corridors.
+"""
+
+from repro.pnr.placement import PlacementReport, refine_placement
+from repro.pnr.router import (
+    MazeRouter,
+    PnrRouter,
+    RouteRequest,
+    RoutedNet,
+    RoutingError,
+    RoutingReport,
+)
+
+__all__ = [
+    "MazeRouter",
+    "PlacementReport",
+    "PnrRouter",
+    "RouteRequest",
+    "RoutedNet",
+    "RoutingError",
+    "RoutingReport",
+    "refine_placement",
+]

@@ -1,0 +1,272 @@
+"""Place & route: short-free routing properties and sign-off goldens.
+
+Two layers:
+
+* **properties** — for every router (channel, river, maze/PnR) the drawn
+  geometry of different nets must never touch on the same layer, verified
+  through the spatial index over the per-net rectangle sets.  This is the
+  property the legacy blind L-route violated: it drew straight through
+  whatever lay between a pad and its core port.
+* **goldens** — the four example designs, assembled into chips and signed
+  off through one shared analyzer: zero DRC violations, full routing
+  completion, and a sane extracted capacitance for every pad route.
+"""
+
+import os
+import sys
+from collections import defaultdict
+
+import pytest
+
+from repro.assembly.channel import (ChannelNet, ChannelRouter,
+                                    ChannelRoutingError)
+from repro.assembly.river import river_route
+from repro.analysis import HierAnalyzer
+from repro.generators import FsmLayoutGenerator, PlaGenerator
+from repro.geometry.index import build_index
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.logic import TruthTable, parse_expr
+from repro.technology import nmos_technology
+from repro.timing.parasitics import ParasiticModel
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "examples"))
+from chip_assembly import build_chip  # noqa: E402
+from traffic_light_controller import build_fsm  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return nmos_technology()
+
+
+def assert_nets_disjoint(rects_of_net):
+    """No two rectangles of different nets may touch on the same layer.
+
+    ``rects_of_net`` maps net name -> list of ``(layer, Rect)``.  Uses the
+    spatial index (touch-inclusive query) per layer, so the check is the
+    same primitive the router's own obstacle tests run on.
+    """
+    by_layer = defaultdict(list)
+    for net, entries in rects_of_net.items():
+        for layer, rect in entries:
+            by_layer[layer].append((net, rect))
+    for layer, entries in by_layer.items():
+        owners = [net for net, _ in entries]
+        rects = [rect for _, rect in entries]
+        index = build_index(rects)
+        for i, rect in enumerate(rects):
+            for j in index.query(rect):
+                assert owners[j] == owners[i], (
+                    f"short on {layer}: net {owners[i]!r} rect {rect} "
+                    f"touches net {owners[j]!r} rect {rects[j]}")
+
+
+def channel_rects(result):
+    """Per-net (layer, rect) pairs from a ChannelResult."""
+    return {net: [(shape.layer, rect)
+                  for shape in shapes for rect in shape.as_rects()]
+            for net, shapes in result.shapes_of_net.items()}
+
+
+def wire_rects(points, width):
+    """Rectangles of a Manhattan centre-line wire of the given width."""
+    half, other = width // 2, width - width // 2
+    rects = []
+    for a, b in zip(points, points[1:]):
+        if a.y == b.y:
+            x1, x2 = sorted((a.x, b.x))
+            rects.append(Rect(x1 - half, a.y - half, x2 + other, a.y + other))
+        else:
+            y1, y2 = sorted((a.y, b.y))
+            rects.append(Rect(a.x - half, y1 - half, a.x + other, y2 + other))
+    return rects
+
+
+# -- channel router properties ------------------------------------------------
+
+
+class TestChannelRouter:
+    def test_column_conflict_is_short_free(self, technology):
+        # The regression that motivated the vertical-constraint rewrite: net
+        # A leaves column 50 upward while net B arrives at column 50 from
+        # below.  Without the constraint the left-edge packer may stack A's
+        # trunk above B's, overlapping their vertical stubs into a short.
+        cell = Cell("channel_vcg")
+        nets = [ChannelNet("A", bottom_pins=[50], top_pins=[100]),
+                ChannelNet("B", bottom_pins=[10], top_pins=[50])]
+        router = ChannelRouter.for_technology(technology)
+        result = router.route(cell, nets, bottom_y=0)
+        assert result.tracks_used >= 2
+        assert result.track_of_net["A"] < result.track_of_net["B"]
+        assert_nets_disjoint(channel_rects(result))
+
+    def test_cyclic_constraint_breaks_with_dogleg(self, technology):
+        # A swap channel: each net has a bottom pin in the other's top
+        # column, so the constraint graph is a 2-cycle that only a dogleg
+        # can break.
+        cell = Cell("channel_cycle")
+        nets = [ChannelNet("A", bottom_pins=[10], top_pins=[60]),
+                ChannelNet("B", bottom_pins=[60], top_pins=[10])]
+        router = ChannelRouter.for_technology(technology)
+        result = router.route(cell, nets, bottom_y=0)
+        assert result.doglegs >= 1
+        assert_nets_disjoint(channel_rects(result))
+
+    def test_conflicting_pin_columns_raise_typed_diagnostic(self, technology):
+        # Same-edge pins of different nets closer than a stub pitch short
+        # regardless of track order; the router must refuse, not draw.
+        cell = Cell("channel_conflict")
+        nets = [ChannelNet("A", bottom_pins=[10], top_pins=[40]),
+                ChannelNet("B", bottom_pins=[12], top_pins=[80])]
+        router = ChannelRouter.for_technology(technology)
+        with pytest.raises(ChannelRoutingError) as excinfo:
+            router.route(cell, nets, bottom_y=0)
+        assert excinfo.value.diagnostic.code == "ROU003"
+
+    def test_dense_channel_is_short_free(self, technology):
+        cell = Cell("channel_dense")
+        nets = [ChannelNet(f"n{i}", bottom_pins=[10 * i + 5],
+                           top_pins=[10 * ((i + 3) % 8) + 5])
+                for i in range(8)]
+        router = ChannelRouter.for_technology(technology)
+        result = router.route(cell, nets, bottom_y=0)
+        assert result.tracks_used >= 1
+        assert_nets_disjoint(channel_rects(result))
+
+
+# -- river router properties --------------------------------------------------
+
+
+class TestRiverRouter:
+    def test_offset_river_is_short_free(self, technology):
+        cell = Cell("river_offset")
+        bottom = [Point(10 * i, 0) for i in range(5)]
+        top = [Point(10 * i + 25, 80) for i in range(5)]
+        route = river_route(cell, bottom, top, wire_width=3, pitch=7,
+                            spacing=3)
+        assert len(route.wires) == 5
+        rects = {f"w{i}": [("metal", rect)
+                           for rect in wire_rects(points, 3)]
+                 for i, points in enumerate(route.wires)}
+        assert_nets_disjoint(rects)
+
+    def test_channel_height_matches_tracks_used(self, technology):
+        cell = Cell("river_height")
+        bottom = [Point(0, 0), Point(20, 0)]
+        top = [Point(40, 60), Point(60, 60)]
+        route = river_route(cell, bottom, top, wire_width=3, pitch=7)
+        # One track per jogged wire, plus one pitch of clearance above.
+        assert route.tracks_used >= 1
+        assert route.channel_height == (route.tracks_used + 1) * 7
+
+
+# -- chip-level place & route -------------------------------------------------
+
+
+class TestChipPnr:
+    @pytest.fixture(scope="class")
+    def family_chip(self):
+        return build_chip("pnr_family_4b", 4, 0)
+
+    def test_placement_is_legal(self, family_chip):
+        assembler, _chip = family_chip
+        report = assembler.placement_report
+        assert report is not None
+        assert not report.overlaps
+        assert 0.0 < report.utilisation <= 1.0
+        assert report.final_wirelength <= report.initial_wirelength
+
+    def test_all_nets_route_without_fallback(self, family_chip):
+        assembler, _chip = family_chip
+        assert assembler.routing_report.completion == 1.0
+        assert not assembler.routing_report.failed
+        assert not any(d.code == "ROU008"
+                       for d in assembler.diagnostics.diagnostics)
+
+    def test_routed_nets_are_pairwise_disjoint(self, family_chip):
+        assembler, _chip = family_chip
+        _layer, width, _spacing = assembler.route_style()
+        rects = {net.name: [("metal", rect)
+                            for rect in wire_rects(net.points, width)]
+                 for net in assembler.routing_report.routed}
+        assert len(rects) == len(assembler.routing_report.routed)
+        assert_nets_disjoint(rects)
+
+
+# -- sign-off goldens over the four example designs ---------------------------
+
+
+def adder_pla(technology):
+    table = TruthTable.from_expressions(
+        {"sum": parse_expr("a ^ b ^ cin"),
+         "carry": parse_expr("a & b | a & cin | b & cin")},
+        input_names=["a", "b", "cin"])
+    return PlaGenerator(technology, table, name="pnr_adder_pla").cell()
+
+
+def wrap_in_chip(name, cell, technology):
+    from repro.assembly import ChipAssembler
+
+    assembler = ChipAssembler(name, technology)
+    assembler.add_block("core", cell)
+    assembler.add_supply_pads()
+    assembler.assemble()
+    return assembler
+
+
+@pytest.fixture(scope="module")
+def signed_off_chips(technology):
+    """The four example designs, assembled and signed off once."""
+    analyzer = HierAnalyzer(technology)
+    chips = {}
+    quickstart = wrap_in_chip("pnr_quickstart", adder_pla(technology),
+                              technology)
+    chips["quickstart"] = (quickstart, quickstart.sign_off(analyzer))
+    fsm_cell = FsmLayoutGenerator(technology, build_fsm()).cell()
+    fsm = wrap_in_chip("pnr_fsm", fsm_cell, technology)
+    chips["fsm"] = (fsm, fsm.sign_off(analyzer))
+    family, _chip = build_chip("pnr_golden_4b", 4, 0)
+    chips["family"] = (family, family.sign_off(analyzer))
+    from pdp8_subset_compiler import compiled_machine_summary
+    _compiled, layout, _report = compiled_machine_summary()
+    pdp8 = wrap_in_chip("pnr_pdp8", layout, technology)
+    chips["pdp8"] = (pdp8, pdp8.sign_off(analyzer))
+    return chips
+
+
+class TestSignOffGoldens:
+    def test_every_example_chip_is_drc_clean(self, signed_off_chips):
+        for name, (_assembler, report) in signed_off_chips.items():
+            assert report.clean, (
+                f"{name}: {len(report.violations)} DRC violations, first: "
+                f"{report.violations[:3]}")
+
+    def test_every_chip_routes_completely(self, signed_off_chips):
+        for name, (assembler, _report) in signed_off_chips.items():
+            expected = (len(assembler._connections)
+                        + len(assembler._block_connections))
+            if assembler.routing_report is None:
+                # Supply-only chips have nothing to route.
+                assert expected == 0, name
+                continue
+            assert assembler.routing_report.completion == 1.0, name
+            assert assembler.report.routed_connections == expected
+
+    def test_per_net_capacitance_is_sane(self, signed_off_chips, technology):
+        # Every pad route's drawn wire must extract to a small positive
+        # capacitance: a zero says the route vanished, a huge value says a
+        # route merged with something it should not have touched.
+        model = ParasiticModel(technology)
+        checked = 0
+        for name, (assembler, report) in signed_off_chips.items():
+            for path in report.timing.io_paths:
+                assert path.route_length > 0, (name, path.pad)
+                wire = Rect(0, 0, path.route_length, 3)
+                cap_ff = model.rect_cap_ff("metal", wire)
+                assert 0.0 < cap_ff < 2000.0, (name, path.pad, cap_ff)
+                assert path.route_delay_ns >= 0.0
+                checked += 1
+        assert checked > 0
