@@ -132,6 +132,18 @@ class _View:
             self._layer_bboxes[layer] = box
         return self._layer_bboxes[layer]
 
+    # Views cross process boundaries in the parallel per-cell fan-out; the
+    # lazily built spatial indexes are cheap to rebuild and stay behind.
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot not in ("_indexes", "_layer_bboxes")}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._indexes = {}
+        self._layer_bboxes = {}
+
 
 class _Source:
     """One geometry source of a view: the cell's own shapes or an instance."""
@@ -268,6 +280,18 @@ class _LayerMerge:
             self._bbox = (box,)
         return self._bbox[0]
 
+    _TRANSIENT = ("_input_index", "_merged_index", "_bbox", "_box_index")
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot not in self._TRANSIENT}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        for slot in self._TRANSIENT:
+            setattr(self, slot, None)
+
 
 class _DrcArtifact:
     """Cached DRC result of one (cell, orientation): merges + id'd verdicts."""
@@ -336,6 +360,16 @@ class _ExtractArtifact:
             self._piece_index = build_index(self.pieces)
         return self._piece_index
 
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot not in ("_diff_index", "_piece_index")}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._diff_index = None
+        self._piece_index = None
+
 
 # -- the analyzer -------------------------------------------------------------
 
@@ -348,10 +382,17 @@ class HierAnalyzer:
     benefit from caching.  Results are byte-identical to
     ``DrcChecker(technology).check``, ``Extractor(technology).extract`` and
     ``measure_cell``.
+
+    ``use_parallel=True`` (the default) prewarms the depth-1 child
+    artifacts across worker processes (:mod:`repro.parallel.hier`) when
+    ``REPRO_WORKERS`` asks for 2+ workers and the design is large enough;
+    the composition pass and its results are unchanged.
     """
 
-    def __init__(self, technology: Technology, direct_threshold: int = 96):
+    def __init__(self, technology: Technology, direct_threshold: int = 96,
+                 use_parallel: bool = True):
         self.technology = technology
+        self.use_parallel = use_parallel
         # Cells whose instances average fewer rectangles than this are
         # analyzed directly on their flat view instead of composed from
         # per-instance artifacts: tiling arrays of tiny cells (ROM/PLA bit
@@ -392,13 +433,32 @@ class HierAnalyzer:
 
     # -- public API ---------------------------------------------------------
 
+    def _maybe_prewarm(self, cell: Cell, call: str) -> None:
+        if not self.use_parallel:
+            return
+        from repro import parallel
+
+        if parallel.worker_count() >= 2 and not parallel.in_worker():
+            from repro.diagnostics import run_with_fallback
+            from repro.parallel.hier import prewarm
+
+            # A fan-out failure costs only the prewarm: the serial
+            # composition pass recomputes whatever is missing.
+            run_with_fallback(
+                "hier artifact fan-out",
+                lambda: prewarm(self, cell, call),
+                lambda: None,
+                code="FBK007")
+
     def drc(self, cell: Cell) -> List[DrcViolation]:
         """All design-rule violations, identical to the flat checker's list."""
+        self._maybe_prewarm(cell, "drc")
         artifact = self._drc_artifact(cell, Orientation.R0)
         return [viol for rule_viols in artifact.viols for _ids, viol in rule_viols]
 
     def extract(self, cell: Cell) -> ExtractedCircuit:
         """Extracted netlist, identical to the flat extractor's output."""
+        self._maybe_prewarm(cell, "extract")
         artifact = self._extract_artifact(cell, Orientation.R0)
         return self._finish_extract(cell, artifact)
 
@@ -412,6 +472,7 @@ class HierAnalyzer:
         result is float-identical to a cold run because the analysis is a
         pure function of the (incrementally composed) extracted circuit.
         """
+        self._maybe_prewarm(cell, "timing")
         return self._timing_artifact(cell, Orientation.R0)
 
     def _timing_artifact(self, cell: Cell, orientation: Orientation) -> BlockTiming:
@@ -439,6 +500,7 @@ class HierAnalyzer:
         chips shares every generator block's report, and the result is a
         pure function of the composed extracted circuit.
         """
+        self._maybe_prewarm(cell, "erc")
         return self._erc_artifact(cell, Orientation.R0)
 
     def _erc_artifact(self, cell: Cell, orientation: Orientation) -> ErcReport:

@@ -87,6 +87,27 @@ class Cell:
         # propagate mutations upward (transitive invalidation).
         self._parents: Dict[int, "weakref.ref[Cell]"] = {}
 
+    # -- pickling ------------------------------------------------------------
+    #
+    # Cells cross process boundaries in the parallel analysis paths
+    # (repro.parallel).  The parent back-references are weakrefs (not
+    # picklable) and the flat cache is redundant, so both stay behind; the
+    # receiving side rebuilds the back-references from the instance lists of
+    # the cells that arrived in the same pickle.  A parent outside the
+    # pickled subgraph is not reconstructed — mutation propagation is scoped
+    # to the transferred DAG, which is all a worker process can see anyway.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_parents"] = {}
+        state["_flat_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        for instance in self.instances:
+            instance.cell._parents[id(self)] = weakref.ref(self)
+
     # -- construction -------------------------------------------------------
 
     def _mutated(self) -> None:

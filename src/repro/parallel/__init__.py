@@ -1,0 +1,326 @@
+"""Shared multiprocess worker-pool layer for the analysis engines.
+
+Three execution paths shard their work through this module: the flat DRC
+checker and extractor split the memoized flat view into grid tiles with a
+halo sized from the largest spacing rule (:mod:`repro.parallel.drc`,
+:mod:`repro.parallel.extract`), the hierarchical analyzer fans out
+per-(unique cell, orientation) artifact builds (:mod:`repro.parallel.hier`),
+and the bitplane simulator batches independent stimulus streams
+(:mod:`repro.sim.bitplane`).  All of them are pinned byte-identical to
+their serial engines: workers return per-shard verdicts, the parent merges
+them deterministically (dedupe + canonical ordering), so the output does
+not depend on the worker count or the tiling.
+
+Configuration is centralized here:
+
+* ``REPRO_WORKERS`` — ``0``/unset/``1`` run serial, ``auto`` uses
+  ``os.cpu_count()``, any other integer is the worker count;
+* ``REPRO_PARALLEL_MIN`` — minimum flat rectangle count before the
+  geometry engines shard (default 5000; small designs are not worth the
+  pool round-trips);
+* ``REPRO_STRICT=1`` — the pool's serial-degradation diagnostic (FBK007)
+  becomes fatal, like every other FBK code.
+
+Pools prefer the ``fork`` start method: the (possibly large) shared payload
+is published through a module global before the workers are forked, so it
+is inherited copy-on-write instead of pickled; only the small task
+descriptors and the per-shard results cross process boundaries.  On
+platforms without ``fork`` the payload is shipped once per worker through
+the pool initializer, which is why payloads (and results) must be
+picklable.  Pool failures degrade to in-process execution via
+:func:`repro.diagnostics.run_with_fallback` with code ``FBK007``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics import run_with_fallback
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "worker_count", "parallel_threshold", "in_worker",
+    "SharedPool", "TileGrid", "plan_grid",
+    "log_phase", "phase_log", "reset_phase_log",
+]
+
+#: Default for ``REPRO_PARALLEL_MIN``: below this many flat rectangles the
+#: geometry engines stay serial (pool startup would dominate the analysis).
+DEFAULT_PARALLEL_MIN = 5000
+
+
+def worker_count(override: Optional[int] = None) -> int:
+    """The configured worker count; < 2 means run serial.
+
+    Reads ``REPRO_WORKERS``: ``0``/unset/empty/``1`` select serial
+    execution, ``auto`` resolves to ``os.cpu_count()``, anything else must
+    be a non-negative integer.  Worker processes always report 0 so a
+    sharded stage can never recursively spawn nested pools.
+    """
+    if _IN_WORKER:
+        return 0
+    if override is not None:
+        return override
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if raw in ("", "0", "1"):
+        return 0
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}")
+    if value < 0:
+        raise ValueError(f"REPRO_WORKERS must be >= 0, got {value}")
+    return value
+
+
+def parallel_threshold() -> int:
+    """Minimum flat rectangle count before DRC/extraction shard."""
+    raw = os.environ.get("REPRO_PARALLEL_MIN", "").strip()
+    if not raw:
+        return DEFAULT_PARALLEL_MIN
+    return int(raw)
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (nested pools are refused)."""
+    return _IN_WORKER
+
+
+# -- the pool -----------------------------------------------------------------
+
+# Shared (worker, payload) pair.  Published in the parent immediately before
+# the workers are forked so they inherit it copy-on-write; under spawn it is
+# installed by the pool initializer instead.  The parent is single-threaded
+# and drives one pool at a time, so the handoff window is race-free.
+_SHARED: Optional[Tuple[Callable, object]] = None
+_IN_WORKER = False
+
+
+def _init_worker(worker: Callable, payload: object) -> None:
+    global _SHARED, _IN_WORKER
+    _SHARED = (worker, payload)
+    _IN_WORKER = True
+
+
+def _call_shared(task):
+    global _IN_WORKER
+    _IN_WORKER = True   # under fork the flag is set lazily, in the child only
+    worker, payload = _SHARED
+    return worker(payload, task)
+
+
+class SharedPool:
+    """A process pool bound to one (worker, payload) pair.
+
+    ``map(tasks)`` returns results in task order.  Each map degrades to
+    in-process execution — same worker function, same payload — when the
+    pool cannot run (fewer than 2 workers configured, already inside a
+    worker, or a pool failure, the last with an FBK007 diagnostic).  Use as
+    a context manager so worker processes are always reaped::
+
+        with SharedPool("sharded DRC", _drc_worker, payload) as pool:
+            verdicts = pool.map(tile_tasks)
+    """
+
+    def __init__(self, label: str, worker: Callable, payload: object,
+                 workers: Optional[int] = None):
+        self.label = label
+        self.worker = worker
+        self.payload = payload
+        self.workers = worker_count(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _serial(self, tasks: Sequence) -> List:
+        worker, payload = self.worker, self.payload
+        return [worker(payload, task) for task in tasks]
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                context = multiprocessing.get_context("fork")
+                global _SHARED
+                _SHARED = (self.worker, self.payload)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.worker, self.payload))
+        return self._executor
+
+    def _map_pool(self, tasks: Sequence) -> List:
+        executor = self._ensure_executor()
+        chunksize = max(1, len(tasks) // (self.workers * 4))
+        return list(executor.map(_call_shared, tasks, chunksize=chunksize))
+
+    def map(self, tasks: Sequence) -> List:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers < 2 or len(tasks) < 2 or _IN_WORKER:
+            return self._serial(tasks)
+        # A pool failure (fork refused, broken worker transport, ...) must
+        # not block sign-off: degrade to in-process execution with a
+        # warning (fatal under REPRO_STRICT=1).  A worker-side *task*
+        # exception reproduces identically in the fallback and propagates.
+        return run_with_fallback(
+            self.label,
+            lambda: self._map_pool(tasks),
+            lambda: self._serial(tasks),
+            code="FBK007")
+
+
+# -- tile planning ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A grid of half-open tiles partitioning the plane.
+
+    ``xs``/``ys`` are strictly increasing boundary arrays: tile ``(i, j)``
+    covers ``xs[i] <= x < xs[i+1]``, ``ys[j] <= y < ys[j+1]``.  Ownership
+    (:meth:`owner`) clamps outside points into the edge tiles, so every
+    point is owned by exactly one tile; :meth:`rect_of` gives a tile's
+    closed rectangle for intersection probes (all indexed geometry lies
+    inside the planned bounding box, so the two views agree).
+    """
+
+    xs: Tuple[int, ...]
+    ys: Tuple[int, ...]
+
+    def tiles(self) -> List[Tuple[int, int]]:
+        return [(i, j) for i in range(len(self.xs) - 1)
+                for j in range(len(self.ys) - 1)]
+
+    def rect_of(self, tile: Tuple[int, int]) -> Rect:
+        i, j = tile
+        return Rect(self.xs[i], self.ys[j],
+                    self.xs[i + 1] - 1, self.ys[j + 1] - 1)
+
+    def owner(self, x: int, y: int) -> Tuple[int, int]:
+        i = min(max(bisect_right(self.xs, x) - 1, 0), len(self.xs) - 2)
+        j = min(max(bisect_right(self.ys, y) - 1, 0), len(self.ys) - 2)
+        return (i, j)
+
+    def owned_ids(self, tile: Tuple[int, int],
+                  points: Sequence[Tuple[int, int]]) -> List[int]:
+        """Ids (ascending) of the points this tile owns."""
+        x_lo, x_hi, y_lo, y_hi = self.owned_bounds(tile)
+        return [k for k, (x, y) in enumerate(points)
+                if x_lo <= x < x_hi and y_lo <= y < y_hi]
+
+    def owned_bounds(self, tile: Tuple[int, int]
+                     ) -> Tuple[float, float, float, float]:
+        """Half-open ownership bounds ``(x_lo, x_hi, y_lo, y_hi)``.
+
+        Edge tiles absorb the outside (the :meth:`owner` clamp), so their
+        bounds are infinite on that side.  A point is owned by the tile iff
+        ``x_lo <= x < x_hi and y_lo <= y < y_hi`` — the same predicate as
+        ``owner(x, y) == tile`` without the per-point bisects.
+        """
+        i, j = tile
+        x_lo: float = self.xs[i] if i > 0 else -math.inf
+        x_hi: float = self.xs[i + 1] if i < len(self.xs) - 2 else math.inf
+        y_lo: float = self.ys[j] if j > 0 else -math.inf
+        y_hi: float = self.ys[j + 1] if j < len(self.ys) - 2 else math.inf
+        return (x_lo, x_hi, y_lo, y_hi)
+
+
+def plan_grid(bbox: Rect, tiles: int) -> TileGrid:
+    """Split ``bbox`` into about ``tiles`` half-open tiles.
+
+    The grid aspect follows the bounding box so tiles stay roughly square;
+    degenerate spans collapse to fewer (possibly one) tiles.
+    """
+    span_x = bbox.x2 - bbox.x1 + 1
+    span_y = bbox.y2 - bbox.y1 + 1
+    tiles = max(1, tiles)
+    nx = max(1, round(math.sqrt(tiles * span_x / span_y))) if span_y else 1
+    nx = min(nx, tiles, span_x)
+    ny = min(max(1, tiles // nx), span_y)
+
+    def boundaries(low: int, high_exclusive: int, count: int) -> Tuple[int, ...]:
+        span = high_exclusive - low
+        cuts = [low + span * k // count for k in range(count)] + [high_exclusive]
+        unique = [cuts[0]]
+        for cut in cuts[1:]:
+            if cut > unique[-1]:
+                unique.append(cut)
+        return tuple(unique)
+
+    return TileGrid(boundaries(bbox.x1, bbox.x2 + 1, nx),
+                    boundaries(bbox.y1, bbox.y2 + 1, ny))
+
+
+def select_touching(rects: Sequence[Rect], probe: Rect,
+                    ids: Optional[Sequence[int]] = None
+                    ) -> Tuple[List[int], List[Rect]]:
+    """Global ids (ascending) and rects of entries touching ``probe``.
+
+    The linear scan runs inside workers, where it is parallel; it keeps the
+    parent free of per-tile binning and the payload free of per-task
+    geometry.
+    """
+    x1, y1, x2, y2 = probe.x1, probe.y1, probe.x2, probe.y2
+    out_ids: List[int] = []
+    out_rects: List[Rect] = []
+    if ids is None:
+        for k, r in enumerate(rects):
+            if r.x1 <= x2 and x1 <= r.x2 and r.y1 <= y2 and y1 <= r.y2:
+                out_ids.append(k)
+                out_rects.append(r)
+    else:
+        for k in ids:
+            r = rects[k]
+            if r.x1 <= x2 and x1 <= r.x2 and r.y1 <= y2 and y1 <= r.y2:
+                out_ids.append(k)
+                out_rects.append(r)
+    return out_ids, out_rects
+
+
+# -- phase accounting ---------------------------------------------------------
+
+# Per-engine wall time of the shard (payload/tile planning), execute (pool
+# maps) and merge (deterministic reassembly) phases of the most recent
+# parallel run; recorded into BENCH_e16.json so scaling regressions are
+# diagnosable phase by phase.
+_PHASE_LOG: Dict[str, Dict[str, float]] = {}
+
+
+def log_phase(engine: str, phase: str, seconds: float) -> None:
+    _PHASE_LOG.setdefault(engine, {})[phase] = (
+        _PHASE_LOG.get(engine, {}).get(phase, 0.0) + seconds)
+
+
+def phase_log(engine: str) -> Dict[str, float]:
+    return dict(_PHASE_LOG.get(engine, {}))
+
+
+def reset_phase_log(engine: Optional[str] = None) -> None:
+    if engine is None:
+        _PHASE_LOG.clear()
+    else:
+        _PHASE_LOG.pop(engine, None)

@@ -1,0 +1,308 @@
+"""Tile-sharded flat DRC, byte-identical to :class:`repro.drc.DrcChecker`.
+
+The flat checker's work factors into per-element verdicts (width, exact
+size), per-pair verdicts (spacing) and per-inner-rectangle verdicts
+(enclosure), all preceded by a same-layer touching merge.  Each verdict
+depends only on a bounded neighbourhood, so the plane is split into grid
+tiles and every verdict is computed inside some tile whose halo covers that
+neighbourhood:
+
+* **merge connectivity** — two rectangles touch iff they share a point;
+  that point lies in exactly one (half-open) tile, and both rectangles
+  intersect it, so the union of per-tile touching edges generates exactly
+  the global touching closure.  Workers return edges; the parent runs one
+  union-find sweep and materializes components in the serial order
+  (components by smallest member, members ascending — the
+  :meth:`UnionFind.components` contract).
+* **spacing** — a violating pair has gap ``g < rule.value``; the point of
+  ``a`` nearest to ``b`` lies in some tile, and ``b`` lies within the
+  rectilinear halo ``rule.value - 1`` of that tile (Chebyshev distance is
+  bounded by the rectilinear gap).  Workers may report a boundary pair from
+  several tiles; the parent dedupes on the global id pair and sorts into
+  the serial ``(a, b)``-lexicographic emission order.
+* **enclosure** — each inner rectangle is owned by the tile holding its
+  lower-left corner; its verdict needs only outer rectangles touching the
+  inner grown by the rule value, all found within the owned set's bounding
+  box grown the same way.  Ownership partitions the inners, so no dedupe
+  is needed.
+
+Workers receive the full layer lists through the fork-shared payload and
+select their locals with an in-worker linear scan — the parent does no
+per-tile binning and ships no per-task geometry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.drc.checker import (
+    DrcViolation,
+    enclosure_violation,
+    spacing_violation,
+)
+from repro.geometry.index import UnionFind, build_index
+from repro.geometry.rect import Rect, merged_area
+from repro.layout.flatten import flatten_cell
+from repro.technology.rules import RuleKind
+
+from repro.parallel import (
+    SharedPool,
+    TileGrid,
+    log_phase,
+    plan_grid,
+    reset_phase_log,
+    select_touching,
+)
+
+#: Tiles per worker: a few tiles each smooths load imbalance from uneven
+#: geometry density without inflating the halo-duplication overhead.
+TILES_PER_WORKER = 4
+
+
+# -- workers ------------------------------------------------------------------
+#
+# Top-level functions (picklable for the spawn path).  ``payload`` is the
+# dict built by ``parallel_check``; tasks are small tuples.
+
+
+def _geometry_worker(payload, task):
+    """Wave A: touching edges per merge layer + enclosure verdicts.
+
+    Wave B: finalize merge components (covered? + bounding box).
+    """
+    if task[0] == "finalize":
+        _tag, layer, comps = task
+        inputs = payload["merge_inputs"][layer]
+        out = []
+        for comp in comps:
+            group = [inputs[i] for i in comp]
+            bounding = group[0]
+            for rect in group[1:]:
+                bounding = bounding.union(rect)
+            out.append((len(group) == 1 or merged_area(group) == bounding.area,
+                        bounding))
+        return out
+
+    _tag, tile = task
+    grid: TileGrid = payload["grid"]
+    region = grid.rect_of(tile)
+
+    edges: Dict[str, List[Tuple[int, int]]] = {}
+    for layer, inputs in payload["merge_inputs"].items():
+        ids, rects = select_touching(inputs, region)
+        if len(ids) < 2:
+            continue
+        chains: List[Tuple[int, int]] = []
+        for component in build_index(rects).connected_components():
+            for first, second in zip(component, component[1:]):
+                chains.append((ids[first], ids[second]))
+        if chains:
+            edges[layer] = chains
+
+    enclosure: List[Tuple[int, int, DrcViolation]] = []
+    raw = payload["raw"]
+    x_lo, x_hi, y_lo, y_hi = grid.owned_bounds(tile)
+    for rule_index, rule in payload["enc_rules"]:
+        outer_layer, inner_layer = rule.layers
+        inner = raw.get(inner_layer, [])
+        owned = [gid for gid, rect in enumerate(inner)
+                 if x_lo <= rect.x1 < x_hi and y_lo <= rect.y1 < y_hi]
+        if not owned:
+            continue
+        span: Optional[Rect] = None
+        for gid in owned:
+            rect = inner[gid]
+            span = rect if span is None else span.union(rect)
+        _outer_ids, outer_rects = select_touching(
+            raw.get(outer_layer, []), span.expanded(rule.value))
+        outer_index = build_index(outer_rects)
+        for gid in owned:
+            rect = inner[gid]
+            triggered = any(outer_rects[i].overlaps(rect, strict=True)
+                            for i in outer_index.query(rect, strict=True))
+            if not triggered:
+                continue
+            nearby = [outer_rects[i]
+                      for i in outer_index.query(rect.expanded(rule.value))]
+            violation = enclosure_violation(rule, rect, nearby, triggered)
+            if violation is not None:
+                enclosure.append((rule_index, gid, violation))
+    return {"edges": edges, "enclosure": enclosure}
+
+
+def _spacing_worker(payload, task):
+    """Per-tile spacing verdicts on the merged regions (pool round 2)."""
+    grid: TileGrid = payload["grid"]
+    region = grid.rect_of(task)
+    merged = payload["merged"]
+    found: List[Tuple[int, int, int, DrcViolation]] = []
+    for rule_index, rule in payload["sp_rules"]:
+        layer_a, layer_b = rule.layers
+        reach = rule.value - 1
+        probe = region.expanded(reach)
+        ids_a, rects_a = select_touching(merged.get(layer_a, []), probe)
+        if not ids_a:
+            continue
+        if layer_b == layer_a:
+            ids_b, rects_b = ids_a, rects_a
+        else:
+            ids_b, rects_b = select_touching(merged.get(layer_b, []), probe)
+        if not ids_b:
+            continue
+        index_b = build_index(rects_b)
+        same_layer = layer_a == layer_b
+        for pos_a, ga in enumerate(ids_a):
+            rect_a = rects_a[pos_a]
+            for pos_b in index_b.neighbors(rect_a, reach):
+                gb = ids_b[pos_b]
+                if same_layer and gb <= ga:
+                    continue
+                violation = spacing_violation(rule, rect_a, rects_b[pos_b])
+                if violation is not None:
+                    found.append((rule_index, ga, gb, violation))
+    return found
+
+
+# -- the parent ---------------------------------------------------------------
+
+
+def parallel_check(checker, cell, workers: Optional[int] = None,
+                   tiles_per_worker: int = TILES_PER_WORKER) -> List[DrcViolation]:
+    """Sharded equivalent of ``DrcChecker._check(cell, brute=False)``."""
+    reset_phase_log("drc")
+    t0 = time.perf_counter()
+    technology = checker.technology
+    flat = flatten_cell(cell)
+    rects_by_layer = flat.rects_by_layer()
+
+    merge_layers: List[str] = []
+    sp_rules: List[Tuple[int, object]] = []
+    enc_rules: List[Tuple[int, object]] = []
+    for rule_index, rule in enumerate(technology.rules):
+        touched: Tuple[str, ...] = ()
+        if rule.kind is RuleKind.MIN_WIDTH:
+            touched = (rule.layers[0],)
+        elif rule.kind is RuleKind.MIN_SPACING:
+            touched = rule.layers
+            sp_rules.append((rule_index, rule))
+        elif rule.kind is RuleKind.MIN_ENCLOSURE and not checker._is_implant(rule.layers[0]):
+            enc_rules.append((rule_index, rule))
+        for layer in touched:
+            if layer not in merge_layers:
+                merge_layers.append(layer)
+
+    merge_inputs = {
+        layer: [r for r in rects_by_layer.get(layer, []) if not r.is_degenerate]
+        for layer in merge_layers
+    }
+    raw_layers: List[str] = []
+    for _ri, rule in enc_rules:
+        for layer in rule.layers:
+            if layer not in raw_layers:
+                raw_layers.append(layer)
+    raw = {layer: rects_by_layer.get(layer, []) for layer in raw_layers}
+
+    bbox: Optional[Rect] = None
+    for table in (merge_inputs, raw):
+        for rects in table.values():
+            for rect in rects:
+                bbox = rect if bbox is None else bbox.union(rect)
+    if bbox is None:
+        return checker._check(cell, brute=False)
+
+    pool_workers = max(1, 2 if workers is None else workers)
+    grid = plan_grid(bbox, pool_workers * tiles_per_worker)
+    payload = {"grid": grid, "merge_inputs": merge_inputs, "raw": raw,
+               "enc_rules": enc_rules}
+    log_phase("drc", "shard", time.perf_counter() - t0)
+
+    with SharedPool("sharded DRC geometry", _geometry_worker, payload,
+                    workers=workers) as pool:
+        t1 = time.perf_counter()
+        tile_results = pool.map([("tile", tile) for tile in grid.tiles()])
+        log_phase("drc", "execute", time.perf_counter() - t1)
+
+        # Stitch cross-tile connectivity: one union-find per merge layer over
+        # the edges every tile discovered.
+        t2 = time.perf_counter()
+        components: Dict[str, List[List[int]]] = {}
+        for layer, inputs in merge_inputs.items():
+            finder = UnionFind(len(inputs))
+            for result in tile_results:
+                for a, b in result["edges"].get(layer, ()):
+                    finder.union(a, b)
+            components[layer] = finder.components()
+
+        finalize_tasks = []
+        for layer, comps in components.items():
+            chunk = max(1, len(comps) // (pool_workers * tiles_per_worker))
+            for start in range(0, len(comps), chunk):
+                finalize_tasks.append(
+                    ("finalize", layer,
+                     [tuple(c) for c in comps[start:start + chunk]]))
+        log_phase("drc", "merge", time.perf_counter() - t2)
+
+        t3 = time.perf_counter()
+        finalize_results = pool.map(finalize_tasks)
+        log_phase("drc", "execute", time.perf_counter() - t3)
+
+    # Materialize the merged lists in `_merge_touching`'s emission order:
+    # components by smallest member; a covered component collapses to its
+    # bounding box, any other keeps its members in ascending order.
+    t4 = time.perf_counter()
+    merged: Dict[str, List[Rect]] = {}
+    per_layer_verdicts: Dict[str, List[Tuple[bool, Rect]]] = {
+        layer: [] for layer in components}
+    for task, result in zip(finalize_tasks, finalize_results):
+        per_layer_verdicts[task[1]].extend(result)
+    for layer, comps in components.items():
+        inputs = merge_inputs[layer]
+        out: List[Rect] = []
+        for comp, (covered, bounding) in zip(comps, per_layer_verdicts[layer]):
+            if covered:
+                out.append(bounding)
+            else:
+                out.extend(inputs[i] for i in comp)
+        merged[layer] = out
+    log_phase("drc", "merge", time.perf_counter() - t4)
+
+    # Round 2: spacing on the merged regions.
+    spacing_hits: List[List[Tuple[int, int, int, DrcViolation]]] = []
+    if sp_rules:
+        payload2 = {"grid": grid, "merged": merged, "sp_rules": sp_rules}
+        with SharedPool("sharded DRC spacing", _spacing_worker, payload2,
+                        workers=workers) as pool:
+            t5 = time.perf_counter()
+            spacing_hits = pool.map(grid.tiles())
+            log_phase("drc", "execute", time.perf_counter() - t5)
+
+    # Deterministic assembly in the serial checker's rule-by-rule order.
+    t6 = time.perf_counter()
+    spacing_by_rule: Dict[int, Dict[Tuple[int, int], DrcViolation]] = {}
+    for tile_hits in spacing_hits:
+        for rule_index, ga, gb, violation in tile_hits:
+            spacing_by_rule.setdefault(rule_index, {}).setdefault((ga, gb),
+                                                                  violation)
+    enclosure_by_rule: Dict[int, List[Tuple[int, DrcViolation]]] = {}
+    for result in tile_results:
+        for rule_index, gid, violation in result["enclosure"]:
+            enclosure_by_rule.setdefault(rule_index, []).append((gid, violation))
+
+    violations: List[DrcViolation] = []
+    for rule_index, rule in enumerate(technology.rules):
+        if rule.kind is RuleKind.MIN_WIDTH:
+            violations.extend(checker._check_width(
+                rule, merged.get(rule.layers[0], [])))
+        elif rule.kind is RuleKind.MIN_SPACING:
+            pairs = spacing_by_rule.get(rule_index, {})
+            violations.extend(pairs[key] for key in sorted(pairs))
+        elif rule.kind is RuleKind.MIN_ENCLOSURE:
+            hits = enclosure_by_rule.get(rule_index, [])
+            hits.sort(key=lambda entry: entry[0])
+            violations.extend(violation for _gid, violation in hits)
+        elif rule.kind is RuleKind.EXACT_SIZE:
+            violations.extend(checker._check_exact_size(
+                rule, rects_by_layer.get(rule.layers[0], [])))
+    log_phase("drc", "merge", time.perf_counter() - t6)
+    return violations

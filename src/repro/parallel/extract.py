@@ -1,0 +1,411 @@
+"""Tile-sharded flat extraction, byte-identical to :class:`repro.extract.Extractor`.
+
+The serial pipeline is a sequence of per-element geometric resolutions
+(channel crossings per poly rectangle, piece splits per diffusion
+rectangle, touch lists per contact, per-channel device data) stitched by a
+global union-find and a global naming pass.  Every per-element resolution
+depends only on a bounded neighbourhood, so each runs inside the tile that
+owns its element (lower-left-corner ownership partitions the elements;
+point-probe labels are owned by their position), with the worker scanning
+the fork-shared layer lists for the neighbourhood it needs.  Same-layer
+connectivity uses the DRC merge trick: touching is witnessed by a shared
+point, that point lies in exactly one tile, so per-tile touching edges
+generate the global closure, which the parent stitches with one union-find
+sweep.
+
+Byte-identity hinges on ordering, which the parent reconstructs exactly:
+
+* workers report candidate ids ascending (the :mod:`repro.geometry.index`
+  query contract survives the local-selection mapping because selections
+  preserve global order), so per-element lists match the serial ones;
+* the parent replays order-sensitive folds serially — channel discovery
+  and dedupe in poly order, piece concatenation in diffusion order,
+  contact/buried unions in cut order, label precedence in label order;
+* node naming depends only on the connectivity partition (groups are
+  scanned by ascending item id), not on the union sequence, so stitching
+  edges in tile order is safe;
+* parasitics are annotated by the serial :func:`annotate_parasitics` on
+  the reassembled items, reproducing the serial floating-point
+  accumulation order bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.extract.extractor import (
+    ExtractedCircuit,
+    _dedupe,
+    _NodeBuilder,
+    apply_label,
+    dedupe_nodes,
+    declare_ports,
+    emit_transistor,
+    resolve_node_names,
+    split_by_channels,
+)
+from repro.geometry.index import build_index
+from repro.geometry.rect import Rect
+from repro.layout.flatten import flatten_cell
+from repro.netlist.switch_sim import SwitchNetwork
+from repro.timing.parasitics import ParasiticModel, annotate_parasitics
+
+from repro.parallel import (
+    SharedPool,
+    TileGrid,
+    log_phase,
+    plan_grid,
+    reset_phase_log,
+    select_touching,
+)
+from repro.parallel.drc import TILES_PER_WORKER
+
+
+# -- workers ------------------------------------------------------------------
+
+
+def _owned_span(grid: TileGrid, tile, rects) -> Tuple[List[int], Optional[Rect]]:
+    """Ids owned by ``tile`` (lower-left rule) and their bounding box."""
+    owned: List[int] = []
+    span: Optional[Rect] = None
+    x_lo, x_hi, y_lo, y_hi = grid.owned_bounds(tile)
+    for gid, rect in enumerate(rects):
+        if x_lo <= rect.x1 < x_hi and y_lo <= rect.y1 < y_hi:
+            owned.append(gid)
+            span = rect if span is None else span.union(rect)
+    return owned, span
+
+
+def _touch_edges(rects, region: Rect) -> List[Tuple[int, int]]:
+    """Touching edges among ``rects`` local to one tile (global ids)."""
+    ids, local = select_touching(rects, region)
+    if len(ids) < 2:
+        return []
+    edges: List[Tuple[int, int]] = []
+    for component in build_index(local).connected_components():
+        for first, second in zip(component, component[1:]):
+            edges.append((ids[first], ids[second]))
+    return edges
+
+
+def _stage1_worker(payload, tile):
+    """Channel crossings for owned poly + poly/metal touching edges."""
+    grid: TileGrid = payload["grid"]
+    region = grid.rect_of(tile)
+    poly = payload["poly"]
+    crossings: Dict[int, List[Tuple[int, Rect, bool]]] = {}
+    owned, span = _owned_span(grid, tile, poly)
+    if owned:
+        diff_ids, diff_rects = select_touching(payload["diffusion"], span)
+        diff_index = build_index(diff_rects)
+        bur_ids, bur_rects = select_touching(payload["buried"], span)
+        bur_index = build_index(bur_rects)
+        for gid in owned:
+            poly_rect = poly[gid]
+            found: List[Tuple[int, Rect, bool]] = []
+            for pos in diff_index.query(poly_rect, strict=True):
+                overlap = poly_rect.intersection(diff_rects[pos])
+                if overlap is None or overlap.is_degenerate:
+                    continue
+                covered = any(bur_rects[i].contains_rect(overlap)
+                              for i in bur_index.query(overlap))
+                found.append((diff_ids[pos], overlap, covered))
+            if found:
+                crossings[gid] = found
+    return {
+        "crossings": crossings,
+        "poly_edges": _touch_edges(poly, region),
+        "metal_edges": _touch_edges(payload["metal"], region),
+    }
+
+
+def _stage2_worker(payload, tile):
+    """Split owned diffusion rectangles by their crossing channels."""
+    grid: TileGrid = payload["grid"]
+    diffusion = payload["diffusion"]
+    channels = payload["channels"]
+    owned, span = _owned_span(grid, tile, diffusion)
+    pieces: Dict[int, List[Rect]] = {}
+    if owned:
+        chan_ids, chan_rects = select_touching(channels, span)
+        chan_index = build_index(chan_rects)
+        for gid in owned:
+            diff_rect = diffusion[gid]
+            crossing = [chan_rects[i]
+                        for i in chan_index.query(diff_rect, strict=True)]
+            pieces[gid] = split_by_channels(diff_rect, crossing)
+    return pieces
+
+
+def _stage3_worker(payload, tile):
+    """Connectivity, contact/label resolutions and device data per tile."""
+    grid: TileGrid = payload["grid"]
+    region = grid.rect_of(tile)
+    pieces = payload["pieces"]
+    poly = payload["poly"]
+    metal = payload["metal"]
+    pieces_end = payload["pieces_end"]
+    metal_start = payload["metal_start"]
+
+    def conducting_select(span: Rect):
+        """Conducting items touching ``span``; ids ascending in builder order."""
+        ids: List[int] = []
+        rects: List[Rect] = []
+        for base, layer_rects in ((0, pieces), (pieces_end, poly),
+                                  (metal_start, metal)):
+            sel_ids, sel_rects = select_touching(layer_rects, span)
+            ids.extend(base + i for i in sel_ids)
+            rects.extend(sel_rects)
+        return ids, rects
+
+    out = {
+        "piece_edges": _touch_edges(pieces, region),
+        "contact_touch": {},
+        "buried_touch": {},
+        "label_hits": {},
+        "devices": {},
+    }
+
+    owned_cuts, span = _owned_span(grid, tile, payload["contacts"])
+    if owned_cuts:
+        ids, rects = conducting_select(span)
+        index = build_index(rects)
+        for gid in owned_cuts:
+            out["contact_touch"][gid] = [
+                ids[i] for i in index.query(payload["contacts"][gid])]
+
+    owned_buried, span = _owned_span(grid, tile, payload["buried"])
+    if owned_buried:
+        ids, rects = conducting_select(span)
+        index = build_index(rects)
+        for gid in owned_buried:
+            out["buried_touch"][gid] = [
+                ids[i]
+                for i in index.query(payload["buried"][gid], strict=True)
+                if ids[i] < metal_start]
+
+    labels = payload["labels"]
+    owned_labels = [k for k, label in enumerate(labels)
+                    if grid.owner(label.position.x, label.position.y) == tile]
+    if owned_labels:
+        span = None
+        for k in owned_labels:
+            p = labels[k].position
+            probe = Rect(p.x, p.y, p.x, p.y)
+            span = probe if span is None else span.union(probe)
+        ids, rects = conducting_select(span)
+        index = build_index(rects)
+        diffusion_layers = payload["diffusion_layers"]
+        for k in owned_labels:
+            label = labels[k]
+            p = label.position
+            hits: List[int] = []
+            for i in index.query(Rect(p.x, p.y, p.x, p.y)):
+                item_id = ids[i]
+                if item_id < pieces_end:
+                    member_layer = "diffusion"
+                elif item_id < metal_start:
+                    member_layer = "poly"
+                else:
+                    member_layer = "metal"
+                if label.layer and label.layer != member_layer and not (
+                    label.layer in diffusion_layers
+                    and member_layer == "diffusion"
+                ):
+                    continue
+                hits.append(item_id)
+            out["label_hits"][k] = hits
+
+    channels = payload["channels"]
+    owned_channels, span = _owned_span(grid, tile, channels)
+    if owned_channels:
+        poly_ids, poly_rects = select_touching(poly, span)
+        poly_index = build_index(poly_rects)
+        piece_ids, piece_rects = select_touching(pieces, span)
+        piece_index = build_index(piece_rects)
+        implant_ids, implant_rects = select_touching(payload["implant"], span)
+        implant_index = build_index(implant_rects)
+        for gid in owned_channels:
+            channel = channels[gid]
+            gate: Optional[int] = None
+            for i in poly_index.query(channel):
+                rect = poly_rects[i]
+                if rect.contains_rect(channel) or rect.overlaps(channel,
+                                                                strict=True):
+                    gate = poly_ids[i]
+                    break
+            terminals = [piece_ids[i] for i in piece_index.query(channel)
+                         if not piece_rects[i].overlaps(channel, strict=True)]
+            depletion = any(implant_rects[i].contains_rect(channel)
+                            for i in implant_index.query(channel))
+            out["devices"][gid] = (gate, terminals, depletion)
+    return out
+
+
+# -- the parent ---------------------------------------------------------------
+
+
+def parallel_extract(extractor, cell, workers: Optional[int] = None,
+                     tiles_per_worker: int = TILES_PER_WORKER) -> ExtractedCircuit:
+    """Sharded equivalent of ``Extractor._extract(cell, brute=False)``."""
+    reset_phase_log("extract")
+    t0 = time.perf_counter()
+    flat = flatten_cell(cell)
+    rects = flat.rects_by_layer()
+    diffusion = [r for layer in extractor._diffusion_layers
+                 for r in rects.get(layer, [])]
+    poly = rects.get("poly", [])
+    metal = rects.get("metal", [])
+    contacts = rects.get("contact", [])
+    buried = rects.get("buried", [])
+    implant = rects.get("implant", [])
+
+    bbox: Optional[Rect] = None
+    for table in (diffusion, poly, metal, contacts, buried, implant):
+        for rect in table:
+            bbox = rect if bbox is None else bbox.union(rect)
+    if bbox is None:
+        return extractor._extract(cell, brute=False)
+
+    pool_workers = 2 if workers is None else workers
+    grid = plan_grid(bbox, pool_workers * tiles_per_worker)
+    tiles = grid.tiles()
+    payload1 = {"grid": grid, "diffusion": diffusion, "poly": poly,
+                "metal": metal, "buried": buried}
+    log_phase("extract", "shard", time.perf_counter() - t0)
+
+    # Round 1: channel crossings + poly/metal same-layer edges.
+    with SharedPool("sharded extraction channels", _stage1_worker,
+                    payload1, workers=workers) as pool:
+        t1 = time.perf_counter()
+        stage1 = pool.map(tiles)
+        log_phase("extract", "execute", time.perf_counter() - t1)
+
+    # Replay channel discovery in the serial poly order, then dedupe.
+    t2 = time.perf_counter()
+    crossings: Dict[int, List[Tuple[int, Rect, bool]]] = {}
+    poly_edges: List[Tuple[int, int]] = []
+    metal_edges: List[Tuple[int, int]] = []
+    for result in stage1:
+        crossings.update(result["crossings"])
+        poly_edges.extend(result["poly_edges"])
+        metal_edges.extend(result["metal_edges"])
+    channels: List[Rect] = []
+    for poly_gid in range(len(poly)):
+        for _diff_id, overlap, covered in crossings.get(poly_gid, ()):
+            if not covered:
+                channels.append(overlap)
+    channels = _dedupe(channels)
+    log_phase("extract", "merge", time.perf_counter() - t2)
+
+    # Round 2: split diffusion by crossing channels.
+    payload2 = {"grid": grid, "diffusion": diffusion, "channels": channels}
+    with SharedPool("sharded extraction pieces", _stage2_worker,
+                    payload2, workers=workers) as pool:
+        t3 = time.perf_counter()
+        stage2 = pool.map(tiles)
+        log_phase("extract", "execute", time.perf_counter() - t3)
+
+    t4 = time.perf_counter()
+    pieces_of: Dict[int, List[Rect]] = {}
+    for result in stage2:
+        pieces_of.update(result)
+    diffusion_pieces: List[Rect] = []
+    for diff_gid in range(len(diffusion)):
+        diffusion_pieces.extend(pieces_of.get(diff_gid, ()))
+    pieces_end = len(diffusion_pieces)
+    metal_start = pieces_end + len(poly)
+    log_phase("extract", "merge", time.perf_counter() - t4)
+
+    # Round 3: piece connectivity, contact/buried/label hits, device data.
+    payload3 = {"grid": grid, "pieces": diffusion_pieces, "poly": poly,
+                "metal": metal, "contacts": contacts, "buried": buried,
+                "implant": implant, "labels": flat.labels,
+                "channels": channels, "pieces_end": pieces_end,
+                "metal_start": metal_start,
+                "diffusion_layers": extractor._diffusion_layers}
+    with SharedPool("sharded extraction connectivity", _stage3_worker,
+                    payload3, workers=workers) as pool:
+        t5 = time.perf_counter()
+        stage3 = pool.map(tiles)
+        log_phase("extract", "execute", time.perf_counter() - t5)
+
+    # Deterministic reassembly: the serial pipeline's steps 3-5 with every
+    # geometric question pre-answered.
+    t6 = time.perf_counter()
+    piece_edges: List[Tuple[int, int]] = []
+    contact_touch: Dict[int, List[int]] = {}
+    buried_touch: Dict[int, List[int]] = {}
+    label_hits: Dict[int, List[int]] = {}
+    devices: Dict[int, Tuple[Optional[int], List[int], bool]] = {}
+    for result in stage3:
+        piece_edges.extend(result["piece_edges"])
+        contact_touch.update(result["contact_touch"])
+        buried_touch.update(result["buried_touch"])
+        label_hits.update(result["label_hits"])
+        devices.update(result["devices"])
+
+    builder = _NodeBuilder()
+    for r in diffusion_pieces:
+        builder.add("diffusion", r)
+    for r in poly:
+        builder.add("poly", r)
+    for r in metal:
+        builder.add("metal", r)
+
+    for a, b in piece_edges:
+        builder.union(a, b)
+    for a, b in poly_edges:
+        builder.union(pieces_end + a, pieces_end + b)
+    for a, b in metal_edges:
+        builder.union(metal_start + a, metal_start + b)
+    for cut_gid in range(len(contacts)):
+        touching = contact_touch.get(cut_gid, [])
+        for first, second in zip(touching, touching[1:]):
+            builder.union(first, second)
+    for buried_gid in range(len(buried)):
+        touching = buried_touch.get(buried_gid, [])
+        for first, second in zip(touching, touching[1:]):
+            builder.union(first, second)
+
+    first_hit: Dict[int, str] = {}
+    supply_hit: Dict[int, str] = {}
+    for label_index, label in enumerate(flat.labels):
+        apply_label(label, label_hits.get(label_index, []), builder.find,
+                    supply_hit, first_hit)
+    groups = builder.groups()
+    names, node_of_item = resolve_node_names(groups, supply_hit, first_hit)
+
+    network = SwitchNetwork(cell.name)
+    enhancement = depletion = 0
+    device_channels: List[Rect] = []
+    for index, channel in enumerate(channels):
+        gate_gid, terminal_ids, is_depletion = devices[index]
+        gate_node = (None if gate_gid is None
+                     else node_of_item[pieces_end + gate_gid])
+        terminals = dedupe_nodes(terminal_ids, node_of_item)
+        device = emit_transistor(network, index, channel, gate_node,
+                                 terminals, is_depletion)
+        if device is not None:
+            device_channels.append(channel)
+            if is_depletion:
+                depletion += 1
+            else:
+                enhancement += 1
+
+    declare_ports(network, cell.ports, set(names.values()), flat.labels)
+
+    circuit = ExtractedCircuit(
+        cell_name=cell.name,
+        network=network,
+        node_names=sorted(set(names.values())),
+        transistor_count=len(network.transistors),
+        enhancement_count=enhancement,
+        depletion_count=depletion,
+        parasitics=annotate_parasitics(
+            ParasiticModel(extractor.technology), builder.items, node_of_item,
+            network.transistors, device_channels),
+    )
+    log_phase("extract", "merge", time.perf_counter() - t6)
+    return circuit

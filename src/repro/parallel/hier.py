@@ -1,0 +1,138 @@
+"""Per-cell fan-out for the hierarchical analyzer.
+
+:func:`prewarm` builds the depth-1 child artifacts of a cell — one task per
+unique ``(child cell, orientation)`` pair — across the worker pool, then
+stores the returned artifacts in the calling analyzer's cache.  The
+composition pass that follows runs serially in the parent exactly as
+before, but every child lookup is now a cache hit, so the expensive
+per-unique-cell artifact builds (the bulk of a cold run) happen in
+parallel.
+
+Byte identity holds because artifacts are pure functions of ``(cell
+subtree, orientation, technology)``: a worker-local
+:class:`~repro.analysis.hier.HierAnalyzer` computes exactly what the
+parent's would have, and node naming / port declaration still run only in
+the parent's top-level ``_finish_extract``.  Each pair's artifacts travel
+in ONE pickle, preserving the ``artifact.view is view`` identities the
+composition pass relies on.
+
+Two deliberate simplifications:
+
+* only depth-1 pairs fan out; a worker rebuilds its pair's descendants
+  with its private analyzer, so a grandchild shared by two pairs is built
+  twice.  That duplication is bounded by the subtree sizes and is the
+  price of keeping tasks independent;
+* the parent's ``stats`` count prewarmed pairs as cache *hits* (the build
+  happened elsewhere), so diagnostics-oriented stats differ from a serial
+  cold run — tests asserting artifact counts run below the size gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.parallel import (
+    SharedPool,
+    in_worker,
+    log_phase,
+    parallel_threshold,
+    reset_phase_log,
+    worker_count,
+)
+
+#: Artifact kinds each public analyzer call needs from its children.  The
+#: "view" is always returned: every other artifact references it.
+KINDS_BY_CALL: Dict[str, Tuple[str, ...]] = {
+    "drc": ("drc",),
+    "extract": ("extract",),
+    "erc": ("extract", "erc"),
+    "timing": ("extract", "timing"),
+}
+
+
+def flat_shape_count(cell) -> int:
+    """Fully flattened shape count, via shared-subtree memoization."""
+    memo: Dict[int, int] = {}
+
+    def count(node) -> int:
+        got = memo.get(id(node))
+        if got is None:
+            got = len(node.shapes) + sum(count(inst.cell)
+                                         for inst in node.instances)
+            memo[id(node)] = got
+        return got
+
+    return count(cell)
+
+
+def _artifact_worker(payload, task):
+    """Build one pair's artifacts with a worker-local analyzer."""
+    from repro.analysis.hier import HierAnalyzer
+
+    index, kinds = task
+    cell, orientation = payload["pairs"][index]
+    analyzer = HierAnalyzer(payload["technology"],
+                            direct_threshold=payload["direct_threshold"])
+    build = {
+        "drc": analyzer._drc_artifact,
+        "extract": analyzer._extract_artifact,
+        "erc": analyzer._erc_artifact,
+        "timing": analyzer._timing_artifact,
+    }
+    for kind in kinds:
+        build[kind](cell, orientation)
+    return {kind: analyzer._cached(kind, cell, orientation)
+            for kind in ("view",) + tuple(kinds)}
+
+
+def prewarm(analyzer, cell, call: str) -> None:
+    """Fan the uncached depth-1 child artifacts of ``cell`` across the pool.
+
+    No-op (leaving the serial path untouched) when fewer than 2 workers are
+    configured, when fewer than 2 pairs miss the cache, or when the design
+    is below the sharding threshold.
+    """
+    kinds = KINDS_BY_CALL[call]
+    workers = worker_count()
+    if workers < 2 or in_worker():
+        return
+
+    from repro.geometry.transform import Orientation
+
+    t0 = time.perf_counter()
+    pairs: List[Tuple[object, Orientation]] = []
+    seen = set()
+    for instance in cell.instances:
+        orientation = instance.transform.orientation.then(Orientation.R0)
+        key = (id(instance.cell), orientation)
+        if key in seen:
+            continue
+        seen.add(key)
+        if all(analyzer._cached(kind, instance.cell, orientation) is not None
+               for kind in ("view",) + kinds):
+            continue
+        pairs.append((instance.cell, orientation))
+    if len(pairs) < 2 or flat_shape_count(cell) < parallel_threshold():
+        return
+
+    reset_phase_log("hier")
+    payload = {"pairs": pairs, "technology": analyzer.technology,
+               "direct_threshold": analyzer.direct_threshold}
+    tasks = [(index, kinds) for index in range(len(pairs))]
+    log_phase("hier", "shard", time.perf_counter() - t0)
+
+    t1 = time.perf_counter()
+    with SharedPool("hier artifact fan-out", _artifact_worker, payload,
+                    workers=workers) as pool:
+        results = pool.map(tasks)
+    log_phase("hier", "execute", time.perf_counter() - t1)
+
+    t2 = time.perf_counter()
+    for (pair_cell, orientation), bundle in zip(pairs, results):
+        if bundle is None:
+            continue   # skipped task: the serial path recomputes it
+        for kind, artifact in bundle.items():
+            if artifact is not None:
+                analyzer._store(kind, pair_cell, orientation, artifact)
+    log_phase("hier", "merge", time.perf_counter() - t2)

@@ -1,0 +1,513 @@
+"""Differential tests for the tile-sharded / fanned-out parallel engines.
+
+The contract under test is byte identity: for any layout, worker count and
+tiling, the sharded DRC, sharded extraction, per-cell hierarchical fan-out
+and batched stream simulation must produce exactly the serial engines'
+output, ordering included.  Hypothesis drives random layouts through the
+shard/merge machinery in-process (``workers=1`` exercises the full tile
+pipeline without pool overhead); a handful of tests run real 2-worker
+pools end to end, including the four example designs.
+"""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import parallel
+from repro.analysis.hier import HierAnalyzer
+from repro.diagnostics import DiagnosticError
+from repro.drc import DrcChecker
+from repro.extract.extractor import Extractor
+from repro.generators import PlaGenerator
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Orientation, Transform
+from repro.layout.cell import Cell
+from repro.layout.shapes import Label, Shape
+from repro.logic import TruthTable, parse_expr
+from repro.parallel import SharedPool, TileGrid, plan_grid, select_touching
+from repro.parallel.drc import parallel_check
+from repro.parallel.extract import parallel_extract
+from repro.parallel.hier import flat_shape_count
+from repro.sim import CompiledNetlist, run_streams
+from repro.technology import nmos_technology
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return nmos_technology()
+
+
+def netlist_identity(circuit):
+    return (
+        circuit.cell_name,
+        circuit.node_names,
+        circuit.network.transistors,
+        circuit.network.inputs,
+        circuit.network.outputs,
+        circuit.summary(),
+        circuit.parasitics,
+    )
+
+
+# -- configuration ------------------------------------------------------------
+
+
+class TestWorkerConfig:
+    def test_unset_zero_and_one_mean_serial(self, monkeypatch):
+        for raw in (None, "", "0", "1", " 1 "):
+            if raw is None:
+                monkeypatch.delenv("REPRO_WORKERS", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_WORKERS", raw)
+            assert parallel.worker_count() == 0
+
+    def test_integer_and_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert parallel.worker_count() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert parallel.worker_count() == (os.cpu_count() or 1)
+
+    def test_invalid_values_error(self, monkeypatch):
+        for raw in ("two", "1.5", "-2"):
+            monkeypatch.setenv("REPRO_WORKERS", raw)
+            with pytest.raises(ValueError):
+                parallel.worker_count()
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert parallel.worker_count(3) == 3
+
+    def test_threshold_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_MIN", raising=False)
+        assert parallel.parallel_threshold() == parallel.DEFAULT_PARALLEL_MIN
+        monkeypatch.setenv("REPRO_PARALLEL_MIN", "123")
+        assert parallel.parallel_threshold() == 123
+
+
+# -- pickling -----------------------------------------------------------------
+
+
+class TestPickling:
+    def test_value_types_round_trip(self):
+        for obj in (
+            Point(3, -4),
+            Rect(-1, 0, 5, 7),
+            Transform(Orientation.R90, Point(2, 1)),
+            Shape("metal", Rect(0, 0, 3, 3)),
+            Label("vdd", Point(1, 1), "metal"),
+        ):
+            assert pickle.loads(pickle.dumps(obj)) == obj
+
+    def test_cell_round_trip_rebuilds_parent_links(self):
+        leaf = Cell("pkl_leaf")
+        leaf.add_box("metal", 0, 0, 6, 4)
+        top = Cell("pkl_top")
+        top.place(leaf, 0, 0)
+        top.place(leaf, 10, 0, Orientation.R90)
+        top.add_port("a", Point(0, 0), "metal")
+
+        copy = pickle.loads(pickle.dumps(top))
+        assert copy.name == top.name
+        assert len(copy.instances) == len(top.instances)
+        assert copy.ports.keys() == top.ports.keys()
+        assert [s.layer for s in copy.instances[0].cell.shapes] == ["metal"]
+        # The weak parent links are rebuilt: mutating the transferred leaf
+        # must invalidate the transferred top's caches.
+        version = copy.subtree_version
+        copy.instances[0].cell.add_box("poly", 0, 0, 2, 2)
+        assert copy.subtree_version == version + 1
+
+    def test_hier_artifacts_round_trip(self, technology):
+        table = TruthTable.from_expressions(
+            {"q": parse_expr("a & b | c")}, input_names=["a", "b", "c"])
+        cell = PlaGenerator(technology, table, name="pkl_pla").cell()
+        analyzer = HierAnalyzer(technology, use_parallel=False)
+        analyzer.drc(cell)
+        analyzer.extract(cell)
+        analyzer.erc(cell)
+        analyzer.timing(cell)
+        bundle = {kind: analyzer._cached(kind, cell, Orientation.R0)
+                  for kind in ("view", "drc", "extract", "timing", "erc")}
+        assert all(value is not None for value in bundle.values())
+        copy = pickle.loads(pickle.dumps(bundle))
+        # Artifacts sharing a view keep sharing it after the round trip —
+        # the composition pass relies on that identity.
+        assert copy["drc"].view is copy["view"]
+        assert copy["extract"].view is copy["view"]
+        assert copy["timing"] == bundle["timing"]
+        assert copy["erc"] == bundle["erc"]
+
+
+# -- tile planning ------------------------------------------------------------
+
+
+class TestTileGrid:
+    @given(st.integers(-50, 50), st.integers(-50, 50),
+           st.integers(0, 200), st.integers(0, 200),
+           st.integers(1, 30),
+           st.lists(st.tuples(st.integers(-80, 280), st.integers(-80, 280)),
+                    max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_owned_exactly_once(self, x1, y1, w, h, tiles, points):
+        grid = plan_grid(Rect(x1, y1, x1 + w, y1 + h), tiles)
+        all_tiles = grid.tiles()
+        for x, y in points:
+            owner = grid.owner(x, y)
+            assert owner in all_tiles
+            owners = [tile for tile in all_tiles
+                      if _owns(grid, tile, x, y)]
+            assert owners == [owner]
+
+    def test_rects_partition_bbox(self):
+        bbox = Rect(0, 0, 99, 49)
+        grid = plan_grid(bbox, 8)
+        covered = sum(
+            (r.x2 - r.x1 + 1) * (r.y2 - r.y1 + 1)
+            for r in (grid.rect_of(tile) for tile in grid.tiles()))
+        assert covered == 100 * 50   # closed tile rects partition the bbox
+
+    def test_select_touching_is_ascending(self):
+        rects = [Rect(10, 0, 20, 5), Rect(0, 0, 5, 5), Rect(4, 4, 12, 12)]
+        ids, picked = select_touching(rects, Rect(0, 0, 11, 11))
+        assert ids == sorted(ids)
+        assert picked == [rects[i] for i in ids]
+
+
+def _owns(grid, tile, x, y):
+    x_lo, x_hi, y_lo, y_hi = grid.owned_bounds(tile)
+    return x_lo <= x < x_hi and y_lo <= y < y_hi
+
+
+# -- sharded DRC / extraction -------------------------------------------------
+
+
+LAYERS = ("diffusion", "poly", "metal", "contact")
+
+
+def build_layout(technology, entries, labels=()):
+    cell = Cell("par_case")
+    for layer_index, x, y, w, h in entries:
+        cell.add_box(LAYERS[layer_index % len(LAYERS)], x, y, x + w, y + h)
+    for index, (x, y) in enumerate(labels):
+        cell.add_label(f"net{index}", Point(x, y), "metal")
+    return cell
+
+
+layout_entries = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 120), st.integers(0, 120),
+              st.integers(1, 18), st.integers(1, 18)),
+    min_size=1, max_size=60)
+
+
+class TestShardedDrc:
+    @given(layout_entries, st.integers(1, 9))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_serial_for_any_tiling(self, technology, entries, tiles):
+        cell = build_layout(technology, entries)
+        checker = DrcChecker(technology)
+        serial = checker._check(cell, brute=False)
+        sharded = parallel_check(checker, cell, workers=1,
+                                 tiles_per_worker=tiles)
+        assert sharded == serial
+
+    def test_boundary_straddling_violations(self, technology):
+        # Shapes placed exactly on the 2x2 tile cut of their bounding box:
+        # a spacing pair straddling the vertical cut, a touching chain
+        # crossing it, and an enclosure failure owned by the left tile with
+        # its outer material extending into the right one.
+        cell = Cell("par_boundary")
+        cell.add_box("metal", 0, 0, 49, 4)         # chain piece, left tile
+        cell.add_box("metal", 49, 0, 80, 4)        # abuts across the cut
+        cell.add_box("metal", 0, 10, 49, 12)
+        cell.add_box("metal", 51, 10, 100, 12)     # 1 lambda gap at the cut
+        cell.add_box("poly", 48, 30, 52, 34)       # contact enclosure probe
+        cell.add_box("contact", 49, 31, 52, 33)    # sticks out to the right
+        cell.add_box("metal", 0, 40, 100, 44)
+        cell.add_box("diffusion", 0, 50, 100, 54)
+        checker = DrcChecker(technology)
+        serial = checker._check(cell, brute=False)
+        assert serial, "the case must actually violate rules"
+        for tiles in (1, 2, 4, 7):
+            assert parallel_check(checker, cell, workers=1,
+                                  tiles_per_worker=tiles) == serial
+
+    def test_halo_width_exactly_one_below_rule(self, technology):
+        # Pairs whose gap is rule.value - 1 (the widest violating gap, so
+        # the farthest reach the halo must cover) in both axes.
+        spacing = max(rule.value for rule in technology.rules
+                      if rule.kind.value == "min_spacing")
+        cell = Cell("par_halo")
+        step = 40
+        for k in range(6):
+            x = k * step
+            cell.add_box("metal", x, 0, x + 10, 6)
+            cell.add_box("metal", x + 10 + spacing - 1, 0,
+                         x + 20 + spacing, 6)
+            cell.add_box("metal", x, 20 + (spacing - 1), x + 10,
+                         30 + spacing)
+        checker = DrcChecker(technology)
+        serial = checker._check(cell, brute=False)
+        assert serial
+        for tiles in (2, 3, 8):
+            assert parallel_check(checker, cell, workers=1,
+                                  tiles_per_worker=tiles) == serial
+
+    def test_real_pool_matches_serial(self, technology):
+        cell = build_layout(
+            technology,
+            [(i % 4, (i * 17) % 140, (i * 29) % 140, 4 + i % 9, 3 + i % 7)
+             for i in range(120)])
+        checker = DrcChecker(technology)
+        serial = checker._check(cell, brute=False)
+        assert parallel_check(checker, cell, workers=2) == serial
+
+
+class TestShardedExtract:
+    @given(layout_entries,
+           st.lists(st.tuples(st.integers(0, 130), st.integers(0, 130)),
+                    max_size=5),
+           st.integers(1, 9))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_serial_for_any_tiling(self, technology, entries, labels,
+                                           tiles):
+        cell = build_layout(technology, entries, labels)
+        extractor = Extractor(technology)
+        serial = extractor._extract(cell, brute=False)
+        sharded = parallel_extract(extractor, cell, workers=1,
+                                   tiles_per_worker=tiles)
+        assert netlist_identity(sharded) == netlist_identity(serial)
+
+    def test_transistor_straddling_tile_cut(self, technology):
+        # A poly gate crossing diffusion exactly at the 2x2 cut of the
+        # bounding box, with labelled metal terminals via contacts.
+        cell = Cell("par_device")
+        cell.add_box("diffusion", 0, 20, 100, 28)
+        cell.add_box("poly", 48, 10, 52, 38)
+        cell.add_box("metal", 0, 20, 10, 28)
+        cell.add_box("contact", 2, 22, 5, 25)
+        cell.add_box("metal", 90, 20, 100, 28)
+        cell.add_box("contact", 92, 22, 95, 25)
+        cell.add_label("src", Point(5, 24), "metal")
+        cell.add_label("drn", Point(95, 24), "metal")
+        extractor = Extractor(technology)
+        serial = extractor._extract(cell, brute=False)
+        assert serial.network.transistors, "the case must extract a device"
+        for tiles in (1, 2, 4, 7):
+            sharded = parallel_extract(extractor, cell, workers=1,
+                                       tiles_per_worker=tiles)
+            assert netlist_identity(sharded) == netlist_identity(serial)
+
+    def test_real_pool_matches_serial(self, technology):
+        table = TruthTable.from_expressions(
+            {"s": parse_expr("a ^ b"), "c": parse_expr("a & b")},
+            input_names=["a", "b"])
+        cell = PlaGenerator(technology, table, name="par_pool_pla").cell()
+        extractor = Extractor(technology)
+        serial = extractor._extract(cell, brute=False)
+        sharded = parallel_extract(extractor, cell, workers=2)
+        assert netlist_identity(sharded) == netlist_identity(serial)
+
+
+# -- engine gating ------------------------------------------------------------
+
+
+class TestEngineGates:
+    def test_small_designs_stay_serial(self, technology, monkeypatch):
+        # Below REPRO_PARALLEL_MIN the public engines must not shard even
+        # with workers configured (pool startup would dominate).
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        calls = []
+        monkeypatch.setattr(
+            "repro.parallel.drc.parallel_check",
+            lambda *a, **k: calls.append("drc"))
+        cell = build_layout(technology, [(2, 0, 0, 10, 10)])
+        DrcChecker(technology).check(cell)
+        assert calls == []
+
+    def test_flat_shape_count_shares_subtrees(self):
+        leaf = Cell("gate_leaf")
+        for k in range(5):
+            leaf.add_box("metal", k * 3, 0, k * 3 + 1, 1)
+        mid = Cell("gate_mid")
+        mid.place(leaf, 0, 0)
+        mid.place(leaf, 0, 10)
+        top = Cell("gate_top")
+        top.place(mid, 0, 0)
+        top.place(mid, 100, 0)
+        assert flat_shape_count(top) == 20
+
+
+# -- hierarchical fan-out -----------------------------------------------------
+
+
+class TestHierFanout:
+    def test_matches_serial_through_real_pool(self, technology, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN", "0")
+        table = TruthTable.from_expressions(
+            {"s": parse_expr("a ^ b ^ c"),
+             "y": parse_expr("a & b | c")}, input_names=["a", "b", "c"])
+        pla = PlaGenerator(technology, table, name="par_hier_pla").cell()
+        top = Cell("par_hier_top")
+        top.place(pla, 0, 0)
+        top.place(pla, pla.width + 40, 0)
+        top.place(pla, 0, pla.height + 40, Orientation.R90)
+
+        serial = HierAnalyzer(technology, use_parallel=False)
+        fanned = HierAnalyzer(technology)
+        assert fanned.drc(top) == serial.drc(top)
+        assert (netlist_identity(fanned.extract(top))
+                == netlist_identity(serial.extract(top)))
+        assert fanned.timing(top) == serial.timing(top)
+        assert fanned.erc(top) == serial.erc(top)
+
+
+# -- batched stream simulation ------------------------------------------------
+
+
+def _counter_module():
+    from test_sim_kernel import two_bit_counter
+
+    return two_bit_counter()
+
+
+class TestBatchedStreams:
+    def _streams(self, compiled, count, cycles=8, seed=11):
+        import random
+
+        names = [compiled.net_names[i] for i in compiled.input_ids]
+        rng = random.Random(seed)
+        streams = []
+        for _w in range(count):
+            stream = []
+            for _c in range(cycles):
+                vector = {}
+                for name in names:
+                    roll = rng.random()
+                    if roll < 0.5:
+                        vector[name] = rng.randint(0, 1)
+                    elif roll < 0.6:
+                        vector[name] = None
+                stream.append(vector)
+            streams.append(stream)
+        return streams
+
+    def test_batched_matches_serial_through_real_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        compiled = CompiledNetlist(_counter_module())
+        streams = self._streams(compiled, 150)
+        serial = run_streams(compiled, streams, use_parallel=False)
+        batched = run_streams(compiled, streams, min_parallel_width=32)
+        assert batched == serial
+
+    def test_validation_stays_in_parent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        compiled = CompiledNetlist(_counter_module())
+        with pytest.raises(KeyError):
+            run_streams(compiled, [[{"a_typo": 1}]] * 64,
+                        min_parallel_width=8)
+        ragged = [[{}], [{}, {}]] * 32
+        with pytest.raises(ValueError):
+            run_streams(compiled, ragged, min_parallel_width=8)
+
+    def test_below_width_threshold_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        compiled = CompiledNetlist(_counter_module())
+
+        def boom(self, tasks):
+            raise AssertionError("pool must not be used below the threshold")
+
+        monkeypatch.setattr(SharedPool, "_map_pool", boom)
+        streams = self._streams(compiled, 8)
+        assert run_streams(compiled, streams) == run_streams(
+            compiled, streams, use_parallel=False)
+
+
+# -- degradation --------------------------------------------------------------
+
+
+class TestFallback:
+    def test_pool_failure_degrades_with_fbk007(self, technology, monkeypatch,
+                                               caplog):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+
+        def boom(self, tasks):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(SharedPool, "_map_pool", boom)
+        cell = build_layout(
+            technology,
+            [(i % 4, (i * 13) % 90, (i * 7) % 90, 3, 3) for i in range(40)])
+        checker = DrcChecker(technology)
+        serial = checker._check(cell, brute=False)
+        with caplog.at_level("WARNING"):
+            degraded = parallel_check(checker, cell, workers=2)
+        assert degraded == serial
+        assert any("falling back" in record.message for record in caplog.records)
+
+    def test_strict_mode_makes_degradation_fatal(self, technology,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT", "1")
+
+        def boom(self, tasks):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(SharedPool, "_map_pool", boom)
+        cell = build_layout(
+            technology,
+            [(i % 4, (i * 13) % 90, (i * 7) % 90, 3, 3) for i in range(40)])
+        with pytest.raises(OSError):
+            parallel_check(DrcChecker(technology), cell, workers=2)
+
+
+# -- the four example designs through real pools ------------------------------
+
+
+class TestExampleDesignGolden:
+    """Sharded engines == serial engines on every example design."""
+
+    @pytest.fixture(autouse=True)
+    def _pool_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN", "0")
+
+    def _assert_identical(self, cell, technology):
+        serial_drc = DrcChecker(technology, use_parallel=False).check(cell)
+        serial_circuit = Extractor(technology,
+                                   use_parallel=False).extract(cell)
+        assert DrcChecker(technology).check(cell) == serial_drc
+        assert (netlist_identity(Extractor(technology).extract(cell))
+                == netlist_identity(serial_circuit))
+
+    def test_quickstart_adder_pla(self, technology):
+        table = TruthTable.from_expressions(
+            {"sum": parse_expr("a ^ b ^ cin"),
+             "carry": parse_expr("a & b | a & cin | b & cin")},
+            input_names=["a", "b", "cin"])
+        cell = PlaGenerator(technology, table, name="par_adder_pla").cell()
+        self._assert_identical(cell, technology)
+
+    def test_traffic_light_controller(self, technology):
+        from test_hier_golden import FsmLayoutGenerator, build_fsm
+
+        cell = FsmLayoutGenerator(technology, build_fsm(),
+                                  encoding="binary").cell()
+        self._assert_identical(cell, technology)
+
+    def test_chip_assembly(self, technology):
+        from test_hier_golden import build_chip
+
+        chip = build_chip("par_golden_4b", 4, 0)[1]
+        self._assert_identical(chip, technology)
+
+    def test_pdp8_subset_compiler(self, technology):
+        from test_hier_golden import compiled_machine_summary
+
+        _compiled, layout, _report = compiled_machine_summary()
+        self._assert_identical(layout, technology)
