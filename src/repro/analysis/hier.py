@@ -36,10 +36,16 @@ Three ideas make exact composition possible:
     queries against every source; over-marking a suspect costs time, never
     correctness, because recomputation always yields the flat answer.
 
-Invalidation is automatic: cache keys embed the cell's transitive mutation
-counter (:meth:`repro.layout.cell.Cell._mutated` bumps every ancestor), so
-editing any cell at any depth transparently rebuilds exactly the artifacts
-that depend on it.
+Artifacts live in a content-addressed store (:mod:`repro.store`): keys are
+derived from the cell subtree's Merkle content digest plus the orientation,
+the technology digest and the composition threshold — never from object
+identity — so identical subtrees share artifacts across distinct ``Cell``
+objects, across designs, and (with a ``REPRO_STORE`` directory configured)
+across *processes*.  Invalidation is automatic and exact: editing any cell
+at any depth changes its digest and the digest of every ancestor
+(:meth:`repro.layout.cell.Cell._mutated` bumps the transitive mutation
+counter that gates the digest memo), so exactly the artifacts that depend
+on the edit are rebuilt and every other key keeps hitting.
 """
 
 from __future__ import annotations
@@ -74,6 +80,8 @@ from repro.layout.shapes import Label
 from repro.layout.stats import CellStatistics, hierarchy_depth
 from repro.metrics.report import DesignMetrics, metrics_from_stats
 from repro.netlist.switch_sim import SwitchNetwork
+from repro.store.artifact import ArtifactStore, default_store
+from repro.store.hashing import cell_digest, technology_hash
 from repro.technology.rules import RuleKind
 from repro.technology.technology import Technology
 from repro.timing.parasitics import ParasiticModel, annotate_parasitics
@@ -377,11 +385,19 @@ class _ExtractArtifact:
 class HierAnalyzer:
     """Hierarchical, caching DRC / extraction / metrics engine.
 
-    One analyzer holds per-cell artifact caches for one technology; reuse
-    the same instance across calls (and across designs sharing cells) to
-    benefit from caching.  Results are byte-identical to
+    One analyzer keys its artifacts by design *content* for one technology;
+    reuse the same instance across calls (and across designs sharing
+    cells — even independently rebuilt identical cells) to benefit from
+    caching.  Results are byte-identical to
     ``DrcChecker(technology).check``, ``Extractor(technology).extract`` and
     ``measure_cell``.
+
+    ``store`` is the :class:`repro.store.ArtifactStore` the artifacts live
+    in; by default a fresh in-memory LRU, tiered over a durable on-disk
+    store when the ``REPRO_STORE`` directory is configured — which is what
+    makes warm starts survive process restarts.  Pass one store to several
+    analyzers (or rely on a shared ``REPRO_STORE``) to share artifacts
+    between them.
 
     ``use_parallel=True`` (the default) prewarms the depth-1 child
     artifacts across worker processes (:mod:`repro.parallel.hier`) when
@@ -389,8 +405,15 @@ class HierAnalyzer:
     the composition pass and its results are unchanged.
     """
 
+    #: Artifact kinds whose payloads embed the cell's *name*
+    #: (``ErcReport.name``, ``BlockTiming.name``): their store keys append
+    #: the name so a renamed cell gets a correctly-named report, while the
+    #: name-free geometric kinds stay fully rename-invariant.
+    _NAME_KINDS = frozenset({"erc", "timing"})
+
     def __init__(self, technology: Technology, direct_threshold: int = 96,
-                 use_parallel: bool = True):
+                 use_parallel: bool = True,
+                 store: Optional[ArtifactStore] = None):
         self.technology = technology
         self.use_parallel = use_parallel
         # Cells whose instances average fewer rectangles than this are
@@ -417,15 +440,18 @@ class HierAnalyzer:
                 if layer not in seen:
                     seen.add(layer)
                     self._merge_layers.append(layer)
-        # Per-cell caches of (kind, orientation) -> (subtree_version, value),
-        # weakly keyed by the cell itself: when a design generation is
-        # dropped, its artifacts go with it, so one long-lived analyzer can
-        # be shared across repeated builds without accumulating dead cells.
-        # Parent artifacts keep their child cells alive through their
-        # sources, so entries live exactly as long as they remain usable.
-        self._cache: ("weakref.WeakKeyDictionary"
-                      "[Cell, Dict[Tuple[str, Orientation], Tuple[int, object]]]")
-        self._cache = weakref.WeakKeyDictionary()
+        self.store = store if store is not None else default_store()
+        # The technology digest participates in every store key; one
+        # analyzer serves one technology, so compute it once.
+        self._tech_hash = technology_hash(technology)
+        # Per-cell store-key memo: cell -> [subtree_version, {(kind,
+        # orientation): key}].  Weakly keyed (dead designs drop their
+        # memos); on a version mismatch the *old generation's* keys are
+        # evicted from the store's memory tier before the memo resets, so
+        # editing a cell N times retains one artifact generation, not N.
+        self._keys: ("weakref.WeakKeyDictionary"
+                     "[Cell, List]")
+        self._keys = weakref.WeakKeyDictionary()
         self.stats = {"views": 0, "drc_artifacts": 0, "extract_artifacts": 0,
                       "drc_hits": 0, "extract_hits": 0,
                       "timing_artifacts": 0, "timing_hits": 0,
@@ -465,8 +491,8 @@ class HierAnalyzer:
     def timing(self, cell: Cell) -> BlockTiming:
         """Static timing of the cell's extracted circuit, cached per cell.
 
-        Artifacts are cached per ``(cell, mutation version, orientation)``
-        exactly like the DRC/extraction artifacts: re-timing after an edit
+        Artifacts are keyed by ``(content digest, orientation)`` exactly
+        like the DRC/extraction artifacts: re-timing after an edit
         recomputes only the mutated cell and its ancestors (every other
         cell's artifact is a cache hit, visible in ``stats``), and the
         result is float-identical to a cold run because the analysis is a
@@ -495,8 +521,8 @@ class HierAnalyzer:
     def erc(self, cell: Cell) -> ErcReport:
         """Electrical rule check of the cell's extracted circuit, cached.
 
-        Artifacts follow the timing pattern: cached per ``(cell, mutation
-        version, orientation)``, children prewarmed first so a family of
+        Artifacts follow the timing pattern: keyed by ``(content digest,
+        orientation)``, children prewarmed first so a family of
         chips shares every generator block's report, and the result is a
         pure function of the composed extracted circuit.
         """
@@ -539,18 +565,42 @@ class HierAnalyzer:
 
     # -- oriented views -----------------------------------------------------
 
+    def _key(self, kind: str, cell: Cell, orientation: Orientation) -> str:
+        """The store key of one artifact: pure content, no object identity.
+
+        ``kind : orientation : cell digest : technology digest :
+        composition threshold`` (the threshold shapes the view structure,
+        so artifacts built under different thresholds must not collide),
+        plus the cell name for the report kinds that embed it.  Keys are
+        memoized per cell and validated against the transitive mutation
+        counter; a mutated cell evicts its previous generation's keys from
+        the memory tier on the way through, which bounds the store to one
+        live generation per cell however often the design is edited.
+        """
+        version = cell.subtree_version
+        memo = self._keys.get(cell)
+        if memo is None:
+            memo = [version, {}]
+            self._keys[cell] = memo
+        elif memo[0] != version:
+            for stale in memo[1].values():
+                self.store.evict(stale)
+            memo[0] = version
+            memo[1].clear()
+        key = memo[1].get((kind, orientation))
+        if key is None:
+            key = (f"{kind}:{orientation.name}:{cell_digest(cell)}:"
+                   f"{self._tech_hash}:{self.direct_threshold}")
+            if kind in self._NAME_KINDS:
+                key += ":" + cell.name
+            memo[1][(kind, orientation)] = key
+        return key
+
     def _cached(self, kind: str, cell: Cell, orientation: Orientation):
-        entries = self._cache.get(cell)
-        if entries is None:
-            return None
-        entry = entries.get((kind, orientation))
-        if entry is not None and entry[0] == cell.subtree_version:
-            return entry[1]
-        return None
+        return self.store.get(self._key(kind, cell, orientation))
 
     def _store(self, kind: str, cell: Cell, orientation: Orientation, value):
-        self._cache.setdefault(cell, {})[(kind, orientation)] = (
-            cell.subtree_version, value)
+        self.store.put(self._key(kind, cell, orientation), value)
         return value
 
     def _view(self, cell: Cell, orientation: Orientation) -> _View:

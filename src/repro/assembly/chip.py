@@ -103,6 +103,13 @@ class SignOffReport:
     #: :class:`repro.erc.ErcReport`); ``None`` only on reports built by
     #: hand without running :meth:`ChipAssembler.sign_off`.
     erc: Optional[object] = None
+    #: Snapshot of the analyzer's artifact-store counters
+    #: (:meth:`repro.store.ArtifactStore.stats`) taken after verification:
+    #: hits/misses/puts, plus per-tier occupancy when the store is tiered
+    #: over a ``REPRO_STORE`` directory.  Shows at a glance how much of the
+    #: sign-off was served from cached artifacts (a warm start reports all
+    #: hits, zero puts).
+    store: Optional[Dict] = None
 
     @property
     def clean(self) -> bool:
@@ -359,13 +366,15 @@ class ChipAssembler:
                 f"{analyzer.technology.lambda_nm}) vs "
                 f"{self.technology.name!r} (lambda {self.technology.lambda_nm})"
             )
-        return SignOffReport(
+        report = SignOffReport(
             violations=analyzer.drc(self._chip),
             circuit=analyzer.extract(self._chip),
             metrics=analyzer.measure(self._chip),
             timing=self._timing_report(analyzer),
             erc=analyzer.erc(self._chip),
         )
+        report.store = analyzer.store.stats()
+        return report
 
     def _timing_report(self, analyzer) -> ChipTimingReport:
         """Chip STA plus per-block artifacts and pad-route compositions."""

@@ -1,0 +1,111 @@
+"""Centralized environment-knob parsing for the whole toolchain.
+
+Every behavioural environment variable the toolchain reads is parsed and
+validated here, once, so the knobs cannot drift between subsystems (the
+worker pool, the diagnostics layer and the artifact store all used to
+parse their own copies).  The full table:
+
+===================== ============ ===================================================
+Variable              Default      Meaning
+===================== ============ ===================================================
+``REPRO_WORKERS``     serial       ``0``/unset/``1`` run serial, ``auto`` uses
+                                   ``os.cpu_count()``, any other non-negative
+                                   integer is the worker count for the sharded
+                                   analysis engines (:mod:`repro.parallel`).
+``REPRO_PARALLEL_MIN`` ``5000``    Minimum flat rectangle count before the
+                                   geometry engines shard; small designs are not
+                                   worth the pool round-trips.
+``REPRO_STRICT``      off          ``1`` (any non-``0`` value) makes every guarded
+                                   fallback fatal — FBK/ROU degradations *and* the
+                                   artifact store's STO corruption recoveries —
+                                   so CI surfaces fast-path bugs instead of hiding
+                                   them behind reference recomputation.
+``REPRO_STORE``       unset        Directory of the persistent content-addressed
+                                   artifact store (:mod:`repro.store`).  When set,
+                                   every :class:`~repro.analysis.HierAnalyzer`
+                                   layers a durable :class:`~repro.store.DiskStore`
+                                   under its in-memory cache, so analysis warm
+                                   starts survive process restarts and worker
+                                   processes publish prewarmed artifacts once
+                                   instead of pickling them back per run.
+===================== ============ ===================================================
+
+Parsing raises ``ValueError`` on malformed values (a typo'd knob silently
+running serial — or silently not persisting — is exactly the kind of
+configuration bug this module exists to catch).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_PARALLEL_MIN",
+    "workers",
+    "parallel_min",
+    "strict_mode",
+    "store_dir",
+]
+
+#: Default for ``REPRO_PARALLEL_MIN``: below this many flat rectangles the
+#: geometry engines stay serial (pool startup would dominate the analysis).
+DEFAULT_PARALLEL_MIN = 5000
+
+
+def workers() -> int:
+    """The configured worker count from ``REPRO_WORKERS``; < 2 means serial.
+
+    ``0``/unset/empty/``1`` select serial execution, ``auto`` resolves to
+    ``os.cpu_count()``, anything else must parse as a non-negative integer.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if raw in ("", "0", "1"):
+        return 0
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}")
+    if value < 0:
+        raise ValueError(f"REPRO_WORKERS must be >= 0, got {value}")
+    return value
+
+
+def parallel_min() -> int:
+    """Minimum flat rectangle count before DRC/extraction shard."""
+    raw = os.environ.get("REPRO_PARALLEL_MIN", "").strip()
+    if not raw:
+        return DEFAULT_PARALLEL_MIN
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PARALLEL_MIN must be an integer, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"REPRO_PARALLEL_MIN must be >= 0, got {value}")
+    return value
+
+
+def strict_mode() -> bool:
+    """True when ``REPRO_STRICT`` is set (CI): fallbacks become fatal."""
+    return os.environ.get("REPRO_STRICT", "") not in ("", "0")
+
+
+def store_dir() -> Optional[str]:
+    """The persistent artifact store directory from ``REPRO_STORE``.
+
+    ``None`` when unset or empty (analysis caches stay purely in-memory).
+    The directory is created on first use by the store itself; here the
+    value is only validated to be a plausible path (an existing *file* at
+    the location is a configuration error worth failing loudly on).
+    """
+    raw = os.environ.get("REPRO_STORE", "").strip()
+    if not raw:
+        return None
+    if os.path.exists(raw) and not os.path.isdir(raw):
+        raise ValueError(
+            f"REPRO_STORE points at a non-directory: {raw!r}")
+    return raw

@@ -35,7 +35,6 @@ The library installs only a ``NullHandler``; applications opt in with
 from __future__ import annotations
 
 import logging
-import os
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -78,7 +77,9 @@ def configure_logging(level: int = logging.INFO,
 
 def strict_mode() -> bool:
     """True when ``REPRO_STRICT`` is set (CI): fallbacks become fatal."""
-    return os.environ.get("REPRO_STRICT", "") not in ("", "0")
+    from repro import config
+
+    return config.strict_mode()
 
 
 # -- diagnostics --------------------------------------------------------------------------
@@ -326,7 +327,10 @@ def run_with_fallback(label: str,
         if collector is not None:
             collector.add(diagnostic)
         else:
-            (logger or get_logger("fallback")).warning("%s", message)
+            # Render the full diagnostic (not just the message) so the
+            # stable code is greppable in plain logs too.
+            (logger or get_logger("fallback")).warning(
+                "%s", diagnostic.render())
         return fallback()
 
 

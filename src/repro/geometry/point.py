@@ -24,6 +24,16 @@ class Point:
     x: int
     y: int
 
+    # Explicit tuple state: the generated slots+frozen pickle path calls
+    # dataclasses.fields() once per object, which dominates artifact-store
+    # deserialization when blobs carry hundreds of thousands of points.
+    def __getstate__(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def __setstate__(self, state: Tuple[int, int]) -> None:
+        object.__setattr__(self, "x", state[0])
+        object.__setattr__(self, "y", state[1])
+
     def __iter__(self) -> Iterator[int]:
         yield self.x
         yield self.y

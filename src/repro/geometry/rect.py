@@ -31,6 +31,18 @@ class Rect:
                 f"malformed rectangle: ({self.x1},{self.y1})-({self.x2},{self.y2})"
             )
 
+    # Explicit tuple state: the generated slots+frozen pickle path calls
+    # dataclasses.fields() once per object, which dominates artifact-store
+    # deserialization when blobs carry hundreds of thousands of rectangles.
+    def __getstate__(self) -> Tuple[int, int, int, int]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def __setstate__(self, state: Tuple[int, int, int, int]) -> None:
+        object.__setattr__(self, "x1", state[0])
+        object.__setattr__(self, "y1", state[1])
+        object.__setattr__(self, "x2", state[2])
+        object.__setattr__(self, "y2", state[3])
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod

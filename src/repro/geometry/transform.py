@@ -110,6 +110,15 @@ class Transform:
     orientation: Orientation = Orientation.R0
     translation: Point = Point(0, 0)
 
+    # Explicit tuple state: bypasses the per-object dataclasses.fields()
+    # call in the generated slots+frozen pickle path (see Point/Rect).
+    def __getstate__(self):
+        return (self.orientation, self.translation)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "orientation", state[0])
+        object.__setattr__(self, "translation", state[1])
+
     @staticmethod
     def identity() -> "Transform":
         return Transform()

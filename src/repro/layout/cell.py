@@ -193,6 +193,39 @@ class Cell:
         """Convenience: instantiate ``cell`` with its origin at ``(x, y)``."""
         return self.add_instance(cell, Transform(orientation, Point(x, y)), name)
 
+    # -- content hashing ------------------------------------------------------
+
+    def content_items(self) -> Iterator[Tuple]:
+        """Canonical, name-free tokens describing this cell's *own* content.
+
+        The content-addressed artifact store (:mod:`repro.store`) hashes
+        these tokens — geometry, labels, ports in declaration order —
+        together with each instance's child digest and placement, so two
+        independently built cells with identical content collide on the
+        same digest across objects *and* processes.  The cell's own name
+        and instance names are deliberately excluded: renames never change
+        what analysis computes on the geometry.  Only primitive ints and
+        strings are emitted (no object identities, no Python ``hash()``),
+        which is what makes the digest stable across process restarts.
+        """
+        for shape in self.shapes:
+            geometry = shape.geometry
+            if isinstance(geometry, Rect):
+                yield ("R", shape.layer, geometry.x1, geometry.y1,
+                       geometry.x2, geometry.y2)
+            elif isinstance(geometry, Path):
+                yield (("W", shape.layer, geometry.width)
+                       + tuple((p.x, p.y) for p in geometry.points))
+            else:
+                yield (("P", shape.layer)
+                       + tuple((v.x, v.y) for v in geometry.vertices))
+        for label in self.labels:
+            yield ("L", label.text, label.layer,
+                   label.position.x, label.position.y)
+        for port in self._ports.values():
+            yield ("T", port.name, port.layer, port.direction,
+                   port.position.x, port.position.y)
+
     # -- queries -------------------------------------------------------------
 
     @property

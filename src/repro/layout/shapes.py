@@ -39,6 +39,16 @@ class Shape:
         if isinstance(self.geometry, Rect) and self.geometry.is_degenerate:
             raise ValueError("degenerate rectangles cannot be mask geometry")
 
+    # Explicit tuple state: bypasses the per-object dataclasses.fields()
+    # call in the generated slots+frozen pickle path — artifact-store blobs
+    # carry shapes by the hundred thousand (see Point/Rect).
+    def __getstate__(self):
+        return (self.layer, self.geometry)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "layer", state[0])
+        object.__setattr__(self, "geometry", state[1])
+
     @property
     def kind(self) -> ShapeKind:
         if isinstance(self.geometry, Rect):
@@ -87,6 +97,14 @@ class Label:
     text: str
     position: Point
     layer: str = ""
+
+    def __getstate__(self):
+        return (self.text, self.position, self.layer)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "text", state[0])
+        object.__setattr__(self, "position", state[1])
+        object.__setattr__(self, "layer", state[2])
 
     def transformed(self, transform: Transform) -> "Label":
         return Label(self.text, transform.apply(self.position), self.layer)

@@ -101,12 +101,12 @@ def _functional_mismatches(golden_flat: Module, candidate_flat: Module,
                            inputs: List[str], outputs: List[str],
                            exhaustive_limit: int, stimulus_vectors: int,
                            stimulus_cycles: int, seed: int) -> List[str]:
-    from repro.sim import BitplaneEvaluator, CompiledNetlist, \
+    from repro.sim import BitplaneEvaluator, compile_netlist, \
         exhaustive_input_planes, run_streams
     from repro.sim.kernel import OP_LATCH
 
-    golden_compiled = CompiledNetlist(golden_flat)
-    candidate_compiled = CompiledNetlist(candidate_flat)
+    golden_compiled = compile_netlist(golden_flat)
+    candidate_compiled = compile_netlist(candidate_flat)
     # Latches hold state just like flip-flops, and so do cyclic netlists
     # (cross-coupled gates): a single combinational pass cannot distinguish
     # "holds the previous value" from X, so any stateful module must take

@@ -83,10 +83,10 @@ class GateLevelSimulator:
             # repro.netlist.module, so a top-level import would make
             # ``import repro.sim`` fail depending on which package is
             # imported first.
-            from repro.sim.kernel import CompiledNetlist, ScalarEngine
+            from repro.sim.kernel import ScalarEngine, compile_netlist
 
             def build() -> "ScalarEngine":
-                self._compiled = CompiledNetlist(self.module)
+                self._compiled = compile_netlist(self.module)
                 return ScalarEngine(
                     self._compiled, self.values, self.state, settle_limit
                 )

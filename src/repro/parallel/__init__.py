@@ -11,7 +11,8 @@ their serial engines: workers return per-shard verdicts, the parent merges
 them deterministically (dedupe + canonical ordering), so the output does
 not depend on the worker count or the tiling.
 
-Configuration is centralized here:
+Configuration parsing lives in :mod:`repro.config` (the single documented
+knob table); this module adds only the worker-process guard on top:
 
 * ``REPRO_WORKERS`` — ``0``/unset/``1`` run serial, ``auto`` uses
   ``os.cpu_count()``, any other integer is the worker count;
@@ -34,59 +35,40 @@ picklable.  Pool failures degrade to in-process execution via
 from __future__ import annotations
 
 import math
-import os
 from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import config
+from repro.config import DEFAULT_PARALLEL_MIN
 from repro.diagnostics import run_with_fallback
 from repro.geometry.rect import Rect
 
 __all__ = [
+    "DEFAULT_PARALLEL_MIN",
     "worker_count", "parallel_threshold", "in_worker",
     "SharedPool", "TileGrid", "plan_grid",
     "log_phase", "phase_log", "reset_phase_log",
 ]
 
-#: Default for ``REPRO_PARALLEL_MIN``: below this many flat rectangles the
-#: geometry engines stay serial (pool startup would dominate the analysis).
-DEFAULT_PARALLEL_MIN = 5000
-
-
 def worker_count(override: Optional[int] = None) -> int:
     """The configured worker count; < 2 means run serial.
 
-    Reads ``REPRO_WORKERS``: ``0``/unset/empty/``1`` select serial
-    execution, ``auto`` resolves to ``os.cpu_count()``, anything else must
-    be a non-negative integer.  Worker processes always report 0 so a
-    sharded stage can never recursively spawn nested pools.
+    Parsing of ``REPRO_WORKERS`` lives in :func:`repro.config.workers`;
+    this wrapper adds the worker-process guard: worker processes always
+    report 0 so a sharded stage can never recursively spawn nested pools.
     """
     if _IN_WORKER:
         return 0
     if override is not None:
         return override
-    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
-    if raw in ("", "0", "1"):
-        return 0
-    if raw == "auto":
-        return os.cpu_count() or 1
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}")
-    if value < 0:
-        raise ValueError(f"REPRO_WORKERS must be >= 0, got {value}")
-    return value
+    return config.workers()
 
 
 def parallel_threshold() -> int:
     """Minimum flat rectangle count before DRC/extraction shard."""
-    raw = os.environ.get("REPRO_PARALLEL_MIN", "").strip()
-    if not raw:
-        return DEFAULT_PARALLEL_MIN
-    return int(raw)
+    return config.parallel_min()
 
 
 def in_worker() -> bool:

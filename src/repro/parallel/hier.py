@@ -12,9 +12,17 @@ Byte identity holds because artifacts are pure functions of ``(cell
 subtree, orientation, technology)``: a worker-local
 :class:`~repro.analysis.hier.HierAnalyzer` computes exactly what the
 parent's would have, and node naming / port declaration still run only in
-the parent's top-level ``_finish_extract``.  Each pair's artifacts travel
-in ONE pickle, preserving the ``artifact.view is view`` identities the
-composition pass relies on.
+the parent's top-level ``_finish_extract``.
+
+Artifacts travel one of two ways.  Without a durable store each pair's
+artifacts come back through the pool in ONE pickle, preserving the
+``artifact.view is view`` identities the composition pass relies on.  When
+the parent's analyzer has a persistent disk tier (``REPRO_STORE``), each
+worker instead opens its own tiered store over the *same* directory and
+publishes artifacts there as it builds them — returning only a small
+acknowledgement — and the parent's composition pass pulls them from disk
+on first use.  Concurrent workers hitting the same content key write the
+same bytes through atomic rename, so last-wins races are harmless.
 
 Two deliberate simplifications:
 
@@ -67,13 +75,27 @@ def flat_shape_count(cell) -> int:
 
 
 def _artifact_worker(payload, task):
-    """Build one pair's artifacts with a worker-local analyzer."""
+    """Build one pair's artifacts with a worker-local analyzer.
+
+    With a shared ``store_dir`` in the payload the artifacts are published
+    to the durable store as a side effect of building (the worker's
+    analyzer is tiered over the same directory as the parent's) and only a
+    small acknowledgement crosses the process boundary; otherwise the
+    artifacts themselves are returned in one pickle.
+    """
     from repro.analysis.hier import HierAnalyzer
 
     index, kinds = task
     cell, orientation = payload["pairs"][index]
+    store = None
+    store_dir = payload.get("store_dir")
+    if store_dir is not None:
+        from repro.store.artifact import DiskStore, MemoryStore, TieredStore
+
+        store = TieredStore(MemoryStore(), DiskStore(store_dir))
     analyzer = HierAnalyzer(payload["technology"],
-                            direct_threshold=payload["direct_threshold"])
+                            direct_threshold=payload["direct_threshold"],
+                            store=store)
     build = {
         "drc": analyzer._drc_artifact,
         "extract": analyzer._extract_artifact,
@@ -82,6 +104,8 @@ def _artifact_worker(payload, task):
     }
     for kind in kinds:
         build[kind](cell, orientation)
+    if store_dir is not None:
+        return {"published": True}
     return {kind: analyzer._cached(kind, cell, orientation)
             for kind in ("view",) + tuple(kinds)}
 
@@ -118,7 +142,8 @@ def prewarm(analyzer, cell, call: str) -> None:
 
     reset_phase_log("hier")
     payload = {"pairs": pairs, "technology": analyzer.technology,
-               "direct_threshold": analyzer.direct_threshold}
+               "direct_threshold": analyzer.direct_threshold,
+               "store_dir": analyzer.store.persistent_dir}
     tasks = [(index, kinds) for index in range(len(pairs))]
     log_phase("hier", "shard", time.perf_counter() - t0)
 
@@ -132,6 +157,8 @@ def prewarm(analyzer, cell, call: str) -> None:
     for (pair_cell, orientation), bundle in zip(pairs, results):
         if bundle is None:
             continue   # skipped task: the serial path recomputes it
+        if bundle.get("published"):
+            continue   # already in the shared durable store
         for kind, artifact in bundle.items():
             if artifact is not None:
                 analyzer._store(kind, pair_cell, orientation, artifact)

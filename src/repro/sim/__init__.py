@@ -8,7 +8,7 @@ bit-parallel over packed vector planes (:mod:`repro.sim.bitplane`, the
 engine behind functional equivalence checking and stream co-simulation).
 """
 
-from repro.sim.kernel import CompiledNetlist, ScalarEngine
+from repro.sim.kernel import CompiledNetlist, ScalarEngine, compile_netlist
 from repro.sim.bitplane import (
     BitplaneEvaluator,
     evaluate_vectors,
@@ -19,6 +19,7 @@ from repro.sim.bitplane import (
 __all__ = [
     "CompiledNetlist",
     "ScalarEngine",
+    "compile_netlist",
     "BitplaneEvaluator",
     "evaluate_vectors",
     "exhaustive_input_planes",

@@ -244,6 +244,37 @@ class CompiledNetlist:
         return best
 
 
+# Lowered netlists keyed by content digest (repro.store.hashing): lowering
+# is a pure function of the module's structure, and a CompiledNetlist is
+# immutable after construction (engines keep their own value arrays), so
+# one compilation serves every simulator, STA run and comparison that sees
+# structurally identical input.  Unbudgeted on purpose: entries are small
+# relative to the modules they are compiled from, and the budget's pickle
+# measurement would cost more than it protects.
+_COMPILE_CACHE = None
+
+
+def compile_netlist(module: Module) -> CompiledNetlist:
+    """The lowered form of ``module``, cached by netlist content hash.
+
+    Returns a shared :class:`CompiledNetlist` instance; callers must treat
+    it as immutable (every engine already does — mutable simulation state
+    lives in the engines, never in the lowered arrays).
+    """
+    global _COMPILE_CACHE
+    from repro.store.artifact import MemoryStore
+    from repro.store.hashing import netlist_hash
+
+    if _COMPILE_CACHE is None:
+        _COMPILE_CACHE = MemoryStore(budget_bytes=None)
+    key = "compiled:" + netlist_hash(module)
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        compiled = CompiledNetlist(module)
+        _COMPILE_CACHE.put(key, compiled)
+    return compiled
+
+
 class ScalarEngine:
     """Event-driven scalar settle on a :class:`CompiledNetlist`.
 

@@ -1,0 +1,49 @@
+"""Content-addressed artifact store for analysis results.
+
+Two halves:
+
+* :mod:`repro.store.hashing` — canonical content hashes: Merkle-style
+  cell digests (rename-invariant, structurally deduping), technology
+  digests, netlist digests.
+* :mod:`repro.store.artifact` — the stores those hashes key:
+  :class:`MemoryStore` (LRU, byte-budgeted), :class:`DiskStore` (durable,
+  atomic, checksummed — the ``REPRO_STORE`` directory) and
+  :class:`TieredStore` (memory over disk).  :func:`default_store` builds
+  the right one from the environment.
+
+Together they make every analysis cache keyed by *what the design is*
+rather than *which objects happen to hold it*, so warm starts survive
+process restarts and identical subtrees share artifacts across designs.
+"""
+
+from repro.store.artifact import (
+    DEFAULT_MEMORY_BUDGET,
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    StoreCorruption,
+    StoreFormatMismatch,
+    TieredStore,
+    default_store,
+)
+from repro.store.hashing import (
+    cell_digest,
+    content_hash,
+    netlist_hash,
+    technology_hash,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "MemoryStore",
+    "DiskStore",
+    "TieredStore",
+    "StoreCorruption",
+    "StoreFormatMismatch",
+    "default_store",
+    "DEFAULT_MEMORY_BUDGET",
+    "cell_digest",
+    "content_hash",
+    "netlist_hash",
+    "technology_hash",
+]

@@ -1,0 +1,149 @@
+"""Canonical content hashes for designs, technologies and netlists.
+
+Every hash here is a hex SHA-256 over *primitive* tokens (ints, strings,
+enum names) — never Python's salted ``hash()`` and never object ids — so
+the same design content produces the same digest in every process, which
+is what lets the persistent artifact store (:mod:`repro.store.artifact`)
+serve one process's analysis artifacts to another.
+
+Cell digests are Merkle-style: a cell's digest covers its own geometry,
+labels and ports (:meth:`repro.layout.cell.Cell.content_items`) plus the
+``(child digest, orientation, translation)`` of every placed instance.
+Two consequences the test suite pins:
+
+* **rename invariance** — cell names and instance names are excluded, so
+  renaming never invalidates (or fails to share) an artifact;
+* **structural dedupe** — two independently built identical subtrees
+  collide on the same digest, across distinct :class:`Cell` objects and
+  across processes, so a library cell shared by many designs is analyzed
+  once per technology, ever.
+
+Digests are memoized per cell, keyed weakly, and validated against the
+cell's transitive mutation counter (``subtree_version``), so rehashing an
+unchanged subtree costs two dict lookups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import Dict, Tuple
+
+__all__ = [
+    "cell_digest",
+    "content_hash",
+    "technology_hash",
+    "netlist_hash",
+]
+
+#: Version tag folded into every digest: bump when the token scheme
+#: changes so stale persisted artifacts miss instead of deserializing into
+#: a different meaning.
+_SCHEME = b"repro-hash/1\n"
+
+# Cell -> (subtree_version, digest).  Weakly keyed: dropping a design
+# generation drops its memo entries.  The subtree version bumps
+# transitively on any descendant mutation (Cell._mutated), so a single
+# integer compare validates the whole subtree's memo.
+_CELL_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def cell_digest(cell) -> str:
+    """Merkle content digest of a cell subtree (hex SHA-256).
+
+    Covers geometry, labels, ports and child placements; excludes the
+    cell's name and instance names.  See the module docstring for the
+    invariants.
+    """
+    memo = _CELL_MEMO.get(cell)
+    if memo is not None and memo[0] == cell.subtree_version:
+        return memo[1]
+    hasher = hashlib.sha256(_SCHEME)
+    for item in cell.content_items():
+        hasher.update(repr(item).encode("utf-8"))
+        hasher.update(b"\n")
+    for instance in cell.instances:
+        child = cell_digest(instance.cell)
+        transform = instance.transform
+        hasher.update(
+            f"I {child} {transform.orientation.name} "
+            f"{transform.translation.x} {transform.translation.y}\n"
+            .encode("utf-8"))
+    digest = hasher.hexdigest()
+    _CELL_MEMO[cell] = (cell.subtree_version, digest)
+    return digest
+
+
+def technology_hash(technology) -> str:
+    """Digest of everything analysis outputs can depend on in a technology.
+
+    Layers (names, purposes, GDS numbers), rules (kind, layers, value and
+    the ``name`` that surfaces in :class:`DrcViolation.rule_name`), the
+    lambda scale and the electrical properties all participate; two
+    technologies hashing alike produce identical DRC/extraction/timing
+    results on identical geometry.
+    """
+    hasher = hashlib.sha256(_SCHEME)
+    hasher.update(f"T {technology.name} {technology.lambda_nm}\n".encode())
+    for layer in technology.layers:
+        hasher.update(
+            f"L {layer.name} {layer.cif_name} {layer.purpose.name} "
+            f"{layer.gds_number}\n".encode())
+    for rule in technology.rules:
+        hasher.update(
+            f"R {rule.kind.name} {','.join(rule.layers)} {rule.value} "
+            f"{rule.name}\n".encode())
+    for key in sorted(technology.properties):
+        hasher.update(f"P {key} {technology.properties[key]!r}\n".encode())
+    return hasher.hexdigest()
+
+
+def content_hash(cell, orientation, technology) -> str:
+    """The canonical artifact-store digest of ``(cell, orientation, technology)``.
+
+    This is the public key-derivation entry point: hierarchical analysis
+    artifacts are pure functions of exactly this triple (plus the
+    analyzer's composition threshold, which the analyzer folds into its
+    store keys itself).
+    """
+    hasher = hashlib.sha256(_SCHEME)
+    hasher.update(cell_digest(cell).encode())
+    hasher.update(f" {orientation.name} ".encode())
+    hasher.update(technology_hash(technology).encode())
+    return hasher.hexdigest()
+
+
+def netlist_hash(module) -> str:
+    """Digest of a structural netlist (:class:`repro.netlist.module.Module`).
+
+    Covers the module name, every net (name + port flags) and every
+    instance (name, kind, connections) in declaration order; sub-module
+    kinds hash recursively with within-call memoization.  Net and instance
+    names *are* included — unlike layout cells, they surface directly in
+    compiled-kernel outputs (``net_names``, ``gate_names``, traces).
+    """
+    memo: Dict[int, str] = {}
+
+    def module_digest(mod) -> str:
+        got = memo.get(id(mod))
+        if got is not None:
+            return got
+        hasher = hashlib.sha256(_SCHEME)
+        hasher.update(f"M {mod.name}\n".encode())
+        for net in mod.nets.values():
+            hasher.update(
+                f"N {net.name} {int(net.is_input)} {int(net.is_output)}\n"
+                .encode())
+        for instance in mod.instances:
+            if instance.is_primitive:
+                kind = instance.kind.value
+            else:
+                kind = "sub:" + module_digest(instance.kind)
+            ports = " ".join(f"{port}={net}" for port, net
+                             in instance.connections.items())
+            hasher.update(f"G {instance.name} {kind} {ports}\n".encode())
+        digest = hasher.hexdigest()
+        memo[id(mod)] = digest
+        return digest
+
+    return module_digest(module)

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import get_logger
 from repro.netlist.module import Module
-from repro.sim.kernel import OP_LATCH, CompiledNetlist
+from repro.sim.kernel import OP_LATCH, CompiledNetlist, compile_netlist
 from repro.timing.delay import GateDelayModel
 
 _LOG = get_logger("timing")
@@ -371,6 +371,6 @@ def timing_graph_for_module(module: Module,
                             net_caps_ff: Optional[Dict[str, float]] = None
                             ) -> TimingGraph:
     """Convenience: flatten, lower and price a structural module."""
-    compiled = CompiledNetlist(module)
+    compiled = compile_netlist(module)
     model = GateDelayModel(technology)
     return TimingGraph(compiled, delay_model=model, net_caps_ff=net_caps_ff)

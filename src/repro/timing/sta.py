@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.module import Module
 from repro.rtl.compiler import CompiledMachine
-from repro.sim.kernel import CompiledNetlist
+from repro.sim.kernel import compile_netlist
 from repro.timing.delay import GateDelayModel
 from repro.timing.graph import TimingGraph, TimingPath
 
@@ -59,7 +59,7 @@ def analyze_module(module: Module, technology=None, k_paths: int = 5,
                    net_caps_ff: Optional[Dict[str, float]] = None
                    ) -> TimingReport:
     """Full STA of a structural module (flattened and lowered once)."""
-    compiled = CompiledNetlist(module)
+    compiled = compile_netlist(module)
     graph = TimingGraph(compiled, delay_model=GateDelayModel(technology),
                         net_caps_ff=net_caps_ff)
     return TimingReport(
@@ -135,7 +135,7 @@ def register_paths(compiled_machine: CompiledMachine, technology=None,
     """
     machine = compiled_machine.machine
     module = compiled_machine.module
-    compiled = CompiledNetlist(module)
+    compiled = compile_netlist(module)
     graph = TimingGraph(compiled, delay_model=GateDelayModel(technology))
     dff_of_d_net: Dict[str, str] = {}
     for name, d_id, _q_id in compiled.dffs:

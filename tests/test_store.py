@@ -1,0 +1,444 @@
+"""Content-addressed artifact store: hashes, stores, analyzer rekeying.
+
+Four layers:
+
+* **config** — the centralized environment-knob parsing in
+  :mod:`repro.config` (validation, defaults, errors);
+* **hashing properties** (hypothesis) — cell digests are invariant under
+  renames and object identity but change on any geometry / label / port /
+  child / technology / orientation edit;
+* **stores** — the LRU byte budget, the durable disk round-trip, atomic
+  envelopes, corruption and format-mismatch recovery (``STO001`` /
+  ``STO002``, fatal under ``REPRO_STRICT=1``), ``gc`` and ``stats``;
+* **analyzer integration** — independently built identical cells share
+  artifacts, repeated mutation retains one artifact generation (not N),
+  and the compiled-netlist cache dedupes structurally identical modules.
+"""
+
+import logging
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import config
+from repro.analysis import HierAnalyzer
+from repro.diagnostics import DiagnosticError
+from repro.geometry.point import Point
+from repro.geometry.transform import Orientation
+from repro.layout.cell import Cell
+from repro.store import (
+    DiskStore,
+    MemoryStore,
+    StoreCorruption,
+    TieredStore,
+    cell_digest,
+    content_hash,
+    default_store,
+    netlist_hash,
+    technology_hash,
+)
+from repro.technology import nmos_technology
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return nmos_technology()
+
+
+# -- repro.config -------------------------------------------------------------
+
+
+class TestConfig:
+    def test_workers_default_and_aliases(self, monkeypatch):
+        for value in (None, "", "0", "1"):
+            if value is None:
+                monkeypatch.delenv("REPRO_WORKERS", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_WORKERS", value)
+            assert config.workers() == 0
+
+    def test_workers_auto_and_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert config.workers() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert config.workers() == 3
+
+    def test_workers_rejects_garbage(self, monkeypatch):
+        for bad in ("two", "-1", "1.5"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.raises(ValueError):
+                config.workers()
+
+    def test_parallel_min(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_MIN", raising=False)
+        assert config.parallel_min() == config.DEFAULT_PARALLEL_MIN
+        monkeypatch.setenv("REPRO_PARALLEL_MIN", "123")
+        assert config.parallel_min() == 123
+        monkeypatch.setenv("REPRO_PARALLEL_MIN", "soon")
+        with pytest.raises(ValueError):
+            config.parallel_min()
+
+    def test_strict_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        assert not config.strict_mode()
+        monkeypatch.setenv("REPRO_STRICT", "0")
+        assert not config.strict_mode()
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        assert config.strict_mode()
+
+    def test_store_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert config.store_dir() is None
+        monkeypatch.setenv("REPRO_STORE", "")
+        assert config.store_dir() is None
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        assert config.store_dir() == str(tmp_path / "store")
+
+    def test_store_dir_rejects_files(self, monkeypatch, tmp_path):
+        clash = tmp_path / "not_a_dir"
+        clash.write_text("occupied")
+        monkeypatch.setenv("REPRO_STORE", str(clash))
+        with pytest.raises(ValueError):
+            config.store_dir()
+
+    def test_default_store_follows_environment(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert isinstance(default_store(), MemoryStore)
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        store = default_store()
+        assert isinstance(store, TieredStore)
+        assert store.persistent_dir == str(tmp_path / "store")
+
+
+# -- hashing properties -------------------------------------------------------
+
+coords = st.integers(min_value=-500, max_value=500)
+sizes = st.integers(min_value=1, max_value=60)
+layers = st.sampled_from(["metal", "poly", "diffusion"])
+boxes = st.lists(st.tuples(layers, coords, coords, sizes, sizes),
+                 min_size=1, max_size=8)
+
+
+def build_cell(name, spec, label=None, port=None, child_spec=None,
+               child_at=(0, 0), child_name="leaf"):
+    """Deterministically build a cell from primitive tuples."""
+    cell = Cell(name)
+    for layer, x, y, w, h in spec:
+        cell.add_box(layer, x, y, x + w, y + h)
+    if label is not None:
+        cell.add_label(label, Point(0, 0), "metal")
+    if port is not None:
+        cell.add_port(port, Point(1, 1), "metal", "input")
+    if child_spec is not None:
+        child = build_cell(child_name, child_spec)
+        cell.place(child, *child_at)
+    return cell
+
+
+class TestHashProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(boxes)
+    def test_rename_and_identity_invariance(self, spec):
+        # Two independently built cells with different names but identical
+        # content collide on one digest; renaming changes nothing.
+        first = build_cell("alpha", spec, child_spec=spec[:2])
+        second = build_cell("omega", spec, child_spec=spec[:2],
+                            child_name="other_leaf")
+        assert cell_digest(first) == cell_digest(second)
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes, layers, coords, coords)
+    def test_geometry_edit_changes_digest(self, spec, layer, x, y):
+        cell = build_cell("edited", spec)
+        before = cell_digest(cell)
+        cell.add_box(layer, x, y, x + 1, y + 1)
+        assert cell_digest(cell) != before
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes)
+    def test_label_port_child_edits_change_digest(self, spec):
+        plain = cell_digest(build_cell("c", spec))
+        assert cell_digest(build_cell("c", spec, label="tag")) != plain
+        assert cell_digest(build_cell("c", spec, port="a")) != plain
+        assert cell_digest(build_cell("c", spec, child_spec=spec)) != plain
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes)
+    def test_child_placement_and_mutation_propagate(self, spec):
+        at_origin = build_cell("p", spec, child_spec=spec)
+        moved = build_cell("p", spec, child_spec=spec, child_at=(40, 0))
+        assert cell_digest(at_origin) != cell_digest(moved)
+        before = cell_digest(at_origin)
+        at_origin.instances[0].cell.add_box("metal", 900, 900, 903, 903)
+        assert cell_digest(at_origin) != before
+
+    @settings(max_examples=20, deadline=None)
+    @given(boxes)
+    def test_orientation_changes_content_hash(self, spec):
+        technology = nmos_technology()
+        cell = build_cell("c", spec)
+        hashes = {content_hash(cell, orientation, technology)
+                  for orientation in Orientation}
+        # R0 and R90 must never collide; distinct orientations of an
+        # asymmetric cell generally all differ.
+        assert len(hashes) > 1
+
+    def test_technology_participates(self, technology):
+        cell = build_cell("c", [("metal", 0, 0, 4, 4)])
+        base = content_hash(cell, Orientation.R0, technology)
+        other = nmos_technology()
+        other.properties = dict(other.properties)
+        other.properties["poly_sheet_res"] = 123.0
+        assert content_hash(cell, Orientation.R0, other) != base
+        assert technology_hash(other) != technology_hash(technology)
+
+    def test_netlist_hash_is_name_sensitive_and_structural(self):
+        from repro.netlist.module import GateType, Module
+
+        def build(net="n1", gate="g1"):
+            module = Module("m")
+            module.add_net("a", is_input=True)
+            module.add_net(net, is_output=True)
+            module.add_gate(GateType.NOT, net, ["a"], name=gate)
+            return module
+
+        assert netlist_hash(build()) == netlist_hash(build())
+        assert netlist_hash(build(net="n2")) != netlist_hash(build())
+        assert netlist_hash(build(gate="g2")) != netlist_hash(build())
+
+
+# -- memory store -------------------------------------------------------------
+
+
+class TestMemoryStore:
+    def test_lru_byte_budget_evicts_oldest(self):
+        store = MemoryStore(budget_bytes=1)
+        store.put("a", "x" * 100, size=40)
+        store.put("b", "y" * 100, size=40)
+        # The budget is overrun, but the entry just inserted survives.
+        assert store.get("b") is not None
+        assert store.get("a") is None
+        assert store.stats()["evictions"] >= 1
+
+    def test_lru_order_follows_use(self):
+        store = MemoryStore(budget_bytes=100)
+        store.put("a", "A", size=40)
+        store.put("b", "B", size=40)
+        assert store.get("a") == "A"          # refresh a
+        store.put("c", "C", size=40)          # must evict b, not a
+        assert store.get("a") == "A"
+        assert store.get("b") is None
+        assert store.get("c") == "C"
+
+    def test_unbudgeted_store_never_measures_or_evicts(self):
+        store = MemoryStore(budget_bytes=None)
+        unpicklable = lambda: None            # noqa: E731
+        store.put("f", unpicklable)
+        assert store.get("f") is unpicklable
+        assert store.stats()["evictions"] == 0
+
+    def test_gc_keeps_only_listed_keys(self):
+        store = MemoryStore()
+        for key in "abc":
+            store.put(key, key.upper())
+        assert store.gc(keep=["b"]) == 2
+        assert store.get("b") == "B"
+        assert store.get("a") is None
+
+
+# -- disk store ---------------------------------------------------------------
+
+
+def fill(disk, items):
+    for key, value in items.items():
+        disk.put(key, value)
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        writer = DiskStore(str(tmp_path))
+        fill(writer, {"k1": {"payload": [1, 2, 3]}, "k2": ("t", 4)})
+        reader = DiskStore(str(tmp_path))
+        assert reader.get("k1") == {"payload": [1, 2, 3]}
+        assert reader.get("k2") == ("t", 4)
+        assert reader.get("missing") is None
+        stats = reader.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        disk = DiskStore(str(tmp_path))
+        fill(disk, {f"k{i}": i for i in range(5)})
+        leftovers = [name for _root, _dirs, names in os.walk(tmp_path)
+                     for name in names if not name.endswith(".blob")]
+        assert leftovers == []
+
+    def test_truncated_blob_recovers_as_miss(self, tmp_path, caplog, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        disk = DiskStore(str(tmp_path))
+        disk.put("victim", list(range(100)))
+        path = disk._path("victim")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert disk.get("victim") is None
+        assert any("STO001" in record.message for record in caplog.records)
+        assert disk.stats()["corrupt"] == 1
+        # The bad blob was quarantined: the next read is a clean miss.
+        assert not os.path.exists(path)
+
+    def test_checksum_mismatch_recovers_as_miss(self, tmp_path, caplog, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        disk = DiskStore(str(tmp_path))
+        disk.put("victim", b"A" * 64)
+        path = disk._path("victim")
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            handle.write(b"\x00")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert disk.get("victim") is None
+        assert any("checksum" in record.message for record in caplog.records)
+
+    def test_format_mismatch_is_sto002(self, tmp_path, caplog, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        from repro.store.artifact import STORE_FORMAT
+
+        disk = DiskStore(str(tmp_path))
+        disk.put("victim", 7)
+        path = disk._path("victim")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        future = blob.replace(b'"format": %d' % STORE_FORMAT,
+                              b'"format": %d' % (STORE_FORMAT + 1))
+        assert future != blob
+        with open(path, "wb") as handle:
+            handle.write(future)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert disk.get("victim") is None
+        assert any("STO002" in record.message for record in caplog.records)
+
+    def test_corruption_is_fatal_under_strict(self, tmp_path, monkeypatch):
+        disk = DiskStore(str(tmp_path))
+        disk.put("victim", "value")
+        path = disk._path("victim")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        with pytest.raises(StoreCorruption):
+            disk.get("victim")
+        with pytest.raises(DiagnosticError):
+            DiskStore(str(tmp_path)).get("victim")
+
+    def test_gc_drops_unlisted_blobs(self, tmp_path):
+        disk = DiskStore(str(tmp_path))
+        fill(disk, {f"k{i}": i for i in range(4)})
+        assert disk.gc(keep=["k0", "k2"]) == 2
+        assert sorted(disk.keys()) == sorted(
+            [k for k in ("k0", "k2")])
+        assert disk.get("k1") is None
+        assert disk.get("k0") == 0
+
+
+class TestTieredStore:
+    def test_disk_hit_promotes_and_returns_same_object(self, tmp_path):
+        populate = TieredStore(MemoryStore(), DiskStore(str(tmp_path)))
+        populate.put("k", {"deep": [1, 2]})
+        fresh = TieredStore(MemoryStore(), DiskStore(str(tmp_path)))
+        first = fresh.get("k")
+        assert first == {"deep": [1, 2]}
+        # Promotion: within one process the same object comes back.
+        assert fresh.get("k") is first
+        assert fresh.memory.stats()["hits"] == 1
+
+    def test_evict_touches_memory_only(self, tmp_path):
+        store = TieredStore(MemoryStore(), DiskStore(str(tmp_path)))
+        store.put("k", "v")
+        assert store.evict("k")
+        assert store.get("k") == "v"          # reloaded from disk
+
+
+# -- analyzer integration -----------------------------------------------------
+
+
+def two_box_cell(name):
+    cell = Cell(name)
+    cell.add_box("metal", 0, 0, 9, 3)
+    cell.add_box("metal", 0, 10, 9, 13)
+    return cell
+
+
+class TestAnalyzerRekeying:
+    def test_identical_cells_share_artifacts(self, technology):
+        analyzer = HierAnalyzer(technology)
+        first = two_box_cell("indep_a")
+        second = two_box_cell("indep_b")
+        viols = analyzer.drc(first)
+        built = analyzer.stats["drc_artifacts"]
+        assert analyzer.drc(second) == viols
+        # The second, independently built cell was served from the store.
+        assert analyzer.stats["drc_artifacts"] == built
+        assert analyzer.stats["drc_hits"] >= 1
+
+    def test_mutation_does_not_retain_generations(self, technology):
+        analyzer = HierAnalyzer(technology)
+        cell = two_box_cell("mutant")
+        analyzer.drc(cell)
+        baseline = analyzer.store.stats()["entries"]
+        for step in range(12):
+            cell.add_box("metal", 20 + 30 * step, 0, 24 + 30 * step, 3)
+            analyzer.drc(cell)
+        # Each edit evicts the previous generation's keys: the store holds
+        # one generation, not one per edit.
+        assert analyzer.store.stats()["entries"] <= baseline + 2
+
+    def test_rename_preserves_geometric_artifacts(self, technology):
+        analyzer = HierAnalyzer(technology)
+        cell = two_box_cell("before_rename")
+        analyzer.drc(cell)
+        built = analyzer.stats["drc_artifacts"]
+        cell.name = "after_rename"
+        analyzer.drc(cell)
+        assert analyzer.stats["drc_artifacts"] == built
+
+    def test_erc_and_timing_keys_are_name_sensitive(self, technology):
+        analyzer = HierAnalyzer(technology)
+        first = two_box_cell("named_a")
+        second = two_box_cell("named_b")
+        assert analyzer.timing(first).name == "named_a"
+        assert analyzer.timing(second).name == "named_b"
+        assert analyzer.erc(first).name == "named_a"
+        assert analyzer.erc(second).name == "named_b"
+
+    def test_sign_off_surfaces_store_stats(self, technology):
+        import sys
+
+        sys.path.insert(0, os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir,
+            "examples"))
+        from chip_assembly import build_chip
+
+        assembler, _chip = build_chip("store_stats_4b", 4, 0)
+        report = assembler.sign_off()
+        assert report.store is not None
+        assert report.store["puts"] > 0
+
+    def test_compile_netlist_dedupes_identical_modules(self):
+        from repro.netlist.module import GateType, Module
+        from repro.sim import compile_netlist
+
+        def build():
+            module = Module("dedupe")
+            module.add_net("a", is_input=True)
+            module.add_net("y", is_output=True)
+            module.add_gate(GateType.NOT, "y", ["a"], name="g")
+            return module
+
+        first = compile_netlist(build())
+        assert compile_netlist(build()) is first
+        other = build()
+        other.add_net("z", is_output=True)
+        other.add_gate(GateType.BUF, "z", ["a"], name="g2")
+        assert compile_netlist(other) is not first
