@@ -1,0 +1,105 @@
+"""E18 — observability overhead: tracing must be (nearly) free when off.
+
+The flow is now instrumented end to end (``repro.obs``): every DRC tile,
+extraction stage, PnR escalation and store access sits inside a
+``trace.span``.  That is only acceptable if a production run that never
+asks for a trace pays essentially nothing for the instrumentation, so this
+benchmark bounds the *disabled* overhead on an E12-sized hierarchical
+sign-off:
+
+* measure the untraced sign-off wall time;
+* run the same flow traced and count the spans it actually emits;
+* microbenchmark the cost of one disabled ``span()`` call;
+* bound ``overhead_fraction = spans * cost_per_disabled_span / wall_time``.
+
+The acceptance ceiling is 2% — a disabled span is one module-global check
+plus a shared no-op singleton, so the product of "how many" and "how much"
+must vanish against real analysis work.  ``overhead_headroom_speedup``
+(how many times under the ceiling the measured fraction sits, capped at
+10x for CI stability) is the guarded trajectory field.
+"""
+
+import os
+import tempfile
+import time
+
+from benchmarks.conftest import emit, record_bench
+from benchmarks.bench_e12_hier_analysis import build_tile_chip
+from repro.analysis import HierAnalyzer
+from repro.metrics import format_table
+from repro.obs import trace
+
+MICROBENCH_CALLS = 200_000
+OVERHEAD_CEILING = 0.02
+HEADROOM_CAP = 10.0
+
+
+def analyze(chip, technology):
+    analyzer = HierAnalyzer(technology)
+    return analyzer.drc(chip), analyzer.extract(chip), analyzer.erc(chip)
+
+
+def disabled_span_cost() -> float:
+    """Mean seconds per ``span()`` call while tracing is disabled."""
+    assert not trace.enabled()
+    start = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        with trace.span("e18.noop", cat="bench", probe=1):
+            pass
+    return (time.perf_counter() - start) / MICROBENCH_CALLS
+
+
+def test_e18_disabled_tracing_overhead(benchmark, technology):
+    chip, _rom = build_tile_chip(technology, name="e18_tile_chip")
+    trace.disable()
+
+    # Untraced: the configuration every production run pays for.
+    def untraced_run():
+        return analyze(chip, technology)
+
+    benchmark(untraced_run)
+    off_start = time.perf_counter()
+    untraced_run()
+    off_seconds = time.perf_counter() - off_start
+
+    # Traced: same flow, cold analyzer, counting the spans it emits.
+    trace_path = os.path.join(tempfile.mkdtemp(prefix="e18_"), "trace.json")
+    trace.enable(trace_path)
+    try:
+        traced_start = time.perf_counter()
+        untraced_run()
+        traced_seconds = time.perf_counter() - traced_start
+        trace.write(trace_path)
+        span_count = len(trace.read_trace(trace_path)["events"])
+    finally:
+        trace.disable()
+
+    per_span = disabled_span_cost()
+    overhead_fraction = span_count * per_span / max(off_seconds, 1e-9)
+    headroom = min(HEADROOM_CAP,
+                   OVERHEAD_CEILING / max(overhead_fraction, 1e-9))
+
+    emit(format_table(
+        ["quantity", "value"],
+        [["untraced sign-off (s)", f"{off_seconds:.3f}"],
+         ["traced sign-off (s)", f"{traced_seconds:.3f}"],
+         ["spans emitted", str(span_count)],
+         ["disabled span cost (ns)", f"{per_span * 1e9:.0f}"],
+         ["disabled overhead fraction", f"{overhead_fraction:.5f}"],
+         ["ceiling", f"{OVERHEAD_CEILING:.2f}"],
+         ["headroom (capped)", f"{headroom:.1f}x"]],
+        "E18: observability overhead on an E12-sized sign-off"))
+
+    # Acceptance: instrumentation left enabled in the source must cost the
+    # untraced flow less than 2%.
+    assert overhead_fraction < OVERHEAD_CEILING
+
+    record_bench(
+        "e18", benchmark,
+        spans_emitted=span_count,
+        untraced_seconds=round(off_seconds, 4),
+        traced_seconds=round(traced_seconds, 4),
+        disabled_span_ns=round(per_span * 1e9, 1),
+        overhead_fraction=round(overhead_fraction, 6),
+        overhead_headroom_speedup=round(headroom, 2),
+    )

@@ -3,6 +3,7 @@
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json CURRENT.json [FACTOR]
+    python benchmarks/check_regression.py --summarize
 
 Either argument may also be a bare experiment id (``e13``), which resolves
 to its ``BENCH_<id>.json`` in the results directory via
@@ -14,17 +15,69 @@ than ``FACTOR`` (default 2.0).  Speedup ratios are compared rather than
 raw wall times because both sides of each ratio are measured on the same
 machine in the same run — a slower CI runner shifts the numerator and
 denominator together, so the guard stays meaningful across machines.
+
+``--summarize`` instead prints the committed performance trajectory: one
+row per ``BENCH_e*.json`` in the results directory, showing each
+experiment's speedup fields (falling back to ``wall_time_s`` for
+experiments that measure no ratio).
 """
 
+import glob
 import json
 import os
+import re
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from paths import bench_result_path  # noqa: E402
+from paths import bench_result_path, results_dir  # noqa: E402
+
+
+def summarize() -> int:
+    """Print one trajectory row per committed BENCH_e*.json."""
+    directory = results_dir()
+    paths = glob.glob(os.path.join(directory, "BENCH_e*.json"))
+    if not paths:
+        print(f"no BENCH_e*.json results in {directory}")
+        return 2
+
+    def experiment_number(path):
+        match = re.search(r"BENCH_e(\d+)", os.path.basename(path))
+        return int(match.group(1)) if match else 0
+
+    rows = []
+    for path in sorted(paths, key=experiment_number):
+        with open(path) as handle:
+            result = json.load(handle)
+        experiment = result.get(
+            "experiment", os.path.basename(path)[len("BENCH_"):-len(".json")])
+        ratios = sorted(
+            key for key in result
+            if "speedup" in key and isinstance(result[key], (int, float))
+        )
+        if ratios:
+            for field in ratios:
+                rows.append((experiment, field, f"{result[field]:.2f}x"))
+        elif isinstance(result.get("wall_time_s"), (int, float)):
+            rows.append((experiment, "wall_time_s",
+                         f"{result['wall_time_s']:.3f}s"))
+        else:
+            rows.append((experiment, "-", "no speedup or wall-time field"))
+
+    widths = [max(len(row[column]) for row in rows) for column in range(3)]
+    header = ("experiment", "metric", "value")
+    widths = [max(width, len(name)) for width, name in zip(widths, header)]
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    print(line)
+    print("  ".join("-" * width for width in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+    return 0
 
 
 def main(argv) -> int:
+    if len(argv) >= 2 and argv[1] == "--summarize":
+        return summarize()
     if len(argv) < 3:
         print(__doc__)
         return 2

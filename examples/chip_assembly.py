@@ -6,10 +6,13 @@ whose parameters (datapath width, control complexity) generate a whole
 family of pads-out chips; the program stays the same size while the chips
 it produces grow.
 
-Run:  python examples/chip_assembly.py [--out DIR]
+Run:  python examples/chip_assembly.py [--out DIR] [--trace PATH]
 
 Generated CIF goes to ``--out`` (default: a fresh temporary directory), so
-running the example never litters the repository.
+running the example never litters the repository.  ``--trace`` records a
+Chrome trace-event JSON of the whole family build — placement, pad ring,
+routing escalations and the hierarchical sign-off — viewable at
+ui.perfetto.dev.
 """
 
 import argparse
@@ -22,6 +25,7 @@ from repro.generators import DatapathColumn, DatapathGenerator, PlaGenerator, Ro
 from repro.layout import Library
 from repro.logic import TruthTable, parse_expr
 from repro.metrics import format_table
+from repro.obs import trace as obs_trace
 from repro.technology import nmos_technology
 
 
@@ -75,7 +79,12 @@ def main(argv=None) -> None:
     parser.add_argument("--out", default=None,
                         help="directory for generated CIF output "
                              "(default: a fresh temporary directory)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the family "
+                             "build (view at ui.perfetto.dev)")
     args = parser.parse_args(argv)
+    if args.trace:
+        obs_trace.enable(args.trace)
     out_dir = args.out or tempfile.mkdtemp(prefix="chip_family_")
     os.makedirs(out_dir, exist_ok=True)
 
@@ -112,6 +121,10 @@ def main(argv=None) -> None:
     cif_text = write_cif(library, path=cif_path)
     print(f"\nWrote {cif_path} with {len(library)} cells "
           f"({len(cif_text)} bytes) — the manufacturing interface for the whole family.")
+
+    if args.trace:
+        obs_trace.write(args.trace)
+        print(f"Wrote {args.trace} (Chrome trace-event JSON of the build)")
 
 
 if __name__ == "__main__":

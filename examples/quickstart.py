@@ -5,10 +5,13 @@ This is the paper's claim in miniature: a *completely textual description*
 into manufacturing data (CIF) for a silicon part, with physical verification
 (DRC + extraction) along the way.
 
-Run:  python examples/quickstart.py [--out DIR]
+Run:  python examples/quickstart.py [--out DIR] [--trace PATH] [--vcd PATH]
 
 Generated CIF goes to ``--out`` (default: a fresh temporary directory), so
-running the example never litters the repository.
+running the example never litters the repository.  ``--trace`` records a
+Chrome trace-event JSON of the whole flow (open it at ui.perfetto.dev or in
+``chrome://tracing``); ``--vcd`` dumps a GTKWave-compatible waveform of the
+adder's gate-level simulation over all eight input patterns.
 """
 
 import argparse
@@ -22,7 +25,23 @@ from repro.generators import PlaGenerator
 from repro.layout import Library, cell_statistics
 from repro.logic import TruthTable, parse_expr
 from repro.metrics import format_table, measure_cell
+from repro.netlist import GateLevelSimulator, GateType, Module
+from repro.obs import trace as obs_trace
 from repro.technology import nmos_technology
+
+
+def adder_module() -> Module:
+    """The same full adder as a structural gate-level netlist."""
+    module = Module("adder")
+    module.add_inputs("a", "b", "cin")
+    module.add_outputs("sum", "carry")
+    module.add_gate(GateType.XOR, "ab", ["a", "b"])
+    module.add_gate(GateType.XOR, "sum", ["ab", "cin"])
+    module.add_gate(GateType.AND, "ab_and", ["a", "b"])
+    module.add_gate(GateType.AND, "ac_and", ["a", "cin"])
+    module.add_gate(GateType.AND, "bc_and", ["b", "cin"])
+    module.add_gate(GateType.OR, "carry", ["ab_and", "ac_and", "bc_and"])
+    return module
 
 
 def main(argv=None) -> None:
@@ -30,7 +49,15 @@ def main(argv=None) -> None:
     parser.add_argument("--out", default=None,
                         help="directory for generated CIF output "
                              "(default: a fresh temporary directory)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the flow "
+                             "(view at ui.perfetto.dev)")
+    parser.add_argument("--vcd", default=None, metavar="PATH",
+                        help="dump a VCD waveform of the adder's gate-level "
+                             "simulation (view in GTKWave)")
     args = parser.parse_args(argv)
+    if args.trace:
+        obs_trace.enable(args.trace)
     out_dir = args.out or tempfile.mkdtemp(prefix="quickstart_")
     os.makedirs(out_dir, exist_ok=True)
 
@@ -76,6 +103,17 @@ def main(argv=None) -> None:
     metrics = measure_cell(pla, technology)
     print()
     print(format_table(metrics.header(), [metrics.row()], "Layout metrics"))
+
+    # 6. Optional observability artifacts.
+    if args.vcd:
+        simulator = GateLevelSimulator(adder_module())
+        vectors = [{"a": m & 1, "b": (m >> 1) & 1, "cin": (m >> 2) & 1}
+                   for m in range(8)]
+        simulator.run(vectors, vcd=args.vcd)
+        print(f"Wrote {args.vcd} (VCD waveform of the adder simulation)")
+    if args.trace:
+        obs_trace.write(args.trace)
+        print(f"Wrote {args.trace} (Chrome trace-event JSON of the flow)")
 
 
 if __name__ == "__main__":

@@ -80,6 +80,7 @@ from repro.layout.shapes import Label
 from repro.layout.stats import CellStatistics, hierarchy_depth
 from repro.metrics.report import DesignMetrics, metrics_from_stats
 from repro.netlist.switch_sim import SwitchNetwork
+from repro.obs import trace as obs_trace
 from repro.store.artifact import ArtifactStore, default_store
 from repro.store.hashing import cell_digest, technology_hash
 from repro.technology.rules import RuleKind
@@ -478,15 +479,18 @@ class HierAnalyzer:
 
     def drc(self, cell: Cell) -> List[DrcViolation]:
         """All design-rule violations, identical to the flat checker's list."""
-        self._maybe_prewarm(cell, "drc")
-        artifact = self._drc_artifact(cell, Orientation.R0)
-        return [viol for rule_viols in artifact.viols for _ids, viol in rule_viols]
+        with obs_trace.span("hier.drc", cat="hier", cell=cell.name):
+            self._maybe_prewarm(cell, "drc")
+            artifact = self._drc_artifact(cell, Orientation.R0)
+            return [viol for rule_viols in artifact.viols
+                    for _ids, viol in rule_viols]
 
     def extract(self, cell: Cell) -> ExtractedCircuit:
         """Extracted netlist, identical to the flat extractor's output."""
-        self._maybe_prewarm(cell, "extract")
-        artifact = self._extract_artifact(cell, Orientation.R0)
-        return self._finish_extract(cell, artifact)
+        with obs_trace.span("hier.extract", cat="hier", cell=cell.name):
+            self._maybe_prewarm(cell, "extract")
+            artifact = self._extract_artifact(cell, Orientation.R0)
+            return self._finish_extract(cell, artifact)
 
     def timing(self, cell: Cell) -> BlockTiming:
         """Static timing of the cell's extracted circuit, cached per cell.
@@ -498,8 +502,9 @@ class HierAnalyzer:
         result is float-identical to a cold run because the analysis is a
         pure function of the (incrementally composed) extracted circuit.
         """
-        self._maybe_prewarm(cell, "timing")
-        return self._timing_artifact(cell, Orientation.R0)
+        with obs_trace.span("hier.timing", cat="hier", cell=cell.name):
+            self._maybe_prewarm(cell, "timing")
+            return self._timing_artifact(cell, Orientation.R0)
 
     def _timing_artifact(self, cell: Cell, orientation: Orientation) -> BlockTiming:
         hit = self._cached("timing", cell, orientation)
@@ -507,6 +512,13 @@ class HierAnalyzer:
             self.stats["timing_hits"] += 1
             return hit
         self.stats["timing_artifacts"] += 1
+        span = obs_trace.span("hier.build.timing", cat="sta", cell=cell.name,
+                              orientation=orientation.name)
+        with span:
+            return self._build_timing_artifact(cell, orientation)
+
+    def _build_timing_artifact(self, cell: Cell,
+                               orientation: Orientation) -> BlockTiming:
         view = self._view(cell, orientation)
         # Children first: their artifacts are shared across every chip of a
         # family that instantiates the same generator cells (and across
@@ -526,8 +538,9 @@ class HierAnalyzer:
         chips shares every generator block's report, and the result is a
         pure function of the composed extracted circuit.
         """
-        self._maybe_prewarm(cell, "erc")
-        return self._erc_artifact(cell, Orientation.R0)
+        with obs_trace.span("hier.erc", cat="hier", cell=cell.name):
+            self._maybe_prewarm(cell, "erc")
+            return self._erc_artifact(cell, Orientation.R0)
 
     def _erc_artifact(self, cell: Cell, orientation: Orientation) -> ErcReport:
         hit = self._cached("erc", cell, orientation)
@@ -535,16 +548,22 @@ class HierAnalyzer:
             self.stats["erc_hits"] += 1
             return hit
         self.stats["erc_artifacts"] += 1
-        view = self._view(cell, orientation)
-        for source in view.sources[1:]:
-            self._erc_artifact(source.cell, source.orientation)
-        circuit = self._finish_extract(
-            cell, self._extract_artifact(cell, orientation))
-        report = ErcChecker().check_circuit(circuit)
-        return self._store("erc", cell, orientation, report)
+        with obs_trace.span("hier.build.erc", cat="erc", cell=cell.name,
+                            orientation=orientation.name):
+            view = self._view(cell, orientation)
+            for source in view.sources[1:]:
+                self._erc_artifact(source.cell, source.orientation)
+            circuit = self._finish_extract(
+                cell, self._extract_artifact(cell, orientation))
+            report = ErcChecker().check_circuit(circuit)
+            return self._store("erc", cell, orientation, report)
 
     def measure(self, cell: Cell) -> DesignMetrics:
         """Design metrics, identical to :func:`repro.metrics.measure_cell`."""
+        with obs_trace.span("hier.measure", cat="hier", cell=cell.name):
+            return self._measure(cell)
+
+    def _measure(self, cell: Cell) -> DesignMetrics:
         view = self._view(cell, Orientation.R0)
         bbox = view.bbox
         distinct_cells = cell.descendants() + [cell]
@@ -597,10 +616,16 @@ class HierAnalyzer:
         return key
 
     def _cached(self, kind: str, cell: Cell, orientation: Orientation):
-        return self.store.get(self._key(kind, cell, orientation))
+        with obs_trace.span("store.get", cat="store", kind=kind,
+                            cell=cell.name) as span:
+            value = self.store.get(self._key(kind, cell, orientation))
+            span.set(hit=value is not None)
+            return value
 
     def _store(self, kind: str, cell: Cell, orientation: Orientation, value):
-        self.store.put(self._key(kind, cell, orientation), value)
+        with obs_trace.span("store.put", cat="store", kind=kind,
+                            cell=cell.name):
+            self.store.put(self._key(kind, cell, orientation), value)
         return value
 
     def _view(self, cell: Cell, orientation: Orientation) -> _View:
@@ -744,6 +769,12 @@ class HierAnalyzer:
             self.stats["drc_hits"] += 1
             return hit
         self.stats["drc_artifacts"] += 1
+        with obs_trace.span("hier.build.drc", cat="drc", cell=cell.name,
+                            orientation=orientation.name):
+            return self._build_drc_artifact(cell, orientation)
+
+    def _build_drc_artifact(self, cell: Cell,
+                            orientation: Orientation) -> _DrcArtifact:
         view = self._view(cell, orientation)
         children: List[Optional[_DrcArtifact]] = [None]
         for source in view.sources[1:]:
@@ -1166,6 +1197,12 @@ class HierAnalyzer:
             self.stats["extract_hits"] += 1
             return hit
         self.stats["extract_artifacts"] += 1
+        with obs_trace.span("hier.build.extract", cat="extract",
+                            cell=cell.name, orientation=orientation.name):
+            return self._build_extract_artifact(cell, orientation)
+
+    def _build_extract_artifact(self, cell: Cell, orientation: Orientation
+                                ) -> "_ExtractArtifact":
         view = self._view(cell, orientation)
         sources = view.sources
         children: List[Optional[_ExtractArtifact]] = [None]

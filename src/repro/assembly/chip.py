@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.diagnostics import DiagnosticCollector, strict_mode
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
@@ -110,6 +112,12 @@ class SignOffReport:
     #: sign-off was served from cached artifacts (a warm start reports all
     #: hits, zero puts).
     store: Optional[Dict] = None
+    #: Snapshot of the process-wide flow metrics registry
+    #: (:func:`repro.obs.metrics.snapshot`) taken at the end of sign-off:
+    #: fallback/diagnostic counters, budget consumption gauges, PnR
+    #: escalation counts, settle statistics, store gauges.  ``None`` only on
+    #: reports built by hand without running :meth:`ChipAssembler.sign_off`.
+    flow_metrics: Optional[Dict] = None
 
     @property
     def clean(self) -> bool:
@@ -154,6 +162,20 @@ class ChipReport:
         if self.chip_area == 0:
             return 0.0
         return 1.0 - self.core_area / self.chip_area
+
+
+def _sync_store_gauges(stats: Dict, prefix: str = "store") -> None:
+    """Mirror an artifact store's stats dict into ``store.*`` gauges.
+
+    Nested tier dicts (``memory``/``disk`` of a :class:`TieredStore`)
+    flatten to dotted names, e.g. ``store.memory.hits``.
+    """
+    for key, value in stats.items():
+        name = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            _sync_store_gauges(value, name)
+        elif isinstance(value, (int, float)):
+            obs_metrics.gauge(name).set(value)
 
 
 def _wire_rect(length: int, width: int):
@@ -227,6 +249,12 @@ class ChipAssembler:
 
     def assemble(self) -> Cell:
         """Produce the chip cell (core + pad ring + pad-to-core routing)."""
+        with obs_trace.span("assembly.assemble", cat="assembly",
+                            chip=self.name, blocks=len(self._blocks),
+                            pads=len(self._pads)):
+            return self._assemble()
+
+    def _assemble(self) -> Cell:
         # Imported here: repro.pnr builds on the floorplan/river modules of
         # this package, so a module-level import would be circular.
         from repro.pnr import RouteRequest, refine_placement
@@ -241,15 +269,20 @@ class ChipAssembler:
         # placer over the connection list (pads anchored at their sides).
         connections = ([(pad, target) for pad, target in self._connections]
                        + list(self._block_connections))
-        self.placement_report = refine_placement(
-            self._blocks, connections, self._pads)
+        with obs_trace.span("assembly.place", cat="assembly",
+                            blocks=len(self._blocks)):
+            self.placement_report = refine_placement(
+                self._blocks, connections, self._pads)
         floorplan = self.placement_report.floorplan
         core = Cell(f"{self.name}_core")
         placements = floorplan.realise(core)
 
         # 2. Build the pad ring around it.
-        ring = PadRing(self.technology, self._pads)
-        chip = ring.build(floorplan.width, floorplan.height, name=self.name)
+        with obs_trace.span("assembly.pad_ring", cat="assembly",
+                            pads=len(self._pads)):
+            ring = PadRing(self.technology, self._pads)
+            chip = ring.build(floorplan.width, floorplan.height,
+                              name=self.name)
         core_origin = ring.core_origin
         chip.place(core, core_origin.x, core_origin.y, name="core")
 
@@ -296,8 +329,10 @@ class ChipAssembler:
             bounds = Rect(0, 0, ring.total_width, ring.total_height)
             obstacles = flatten_cell(chip).rects_by_layer().get(layer, [])
             router = PnrRouter(self.technology, bounds, obstacles, layer=layer)
-            self.routing_report = router.route_all(
-                chip, [request for request, _ in requests])
+            with obs_trace.span("assembly.route", cat="assembly",
+                                nets=len(requests)):
+                self.routing_report = router.route_all(
+                    chip, [request for request, _ in requests])
             lengths = {net.name: net.length for net in self.routing_report.routed}
             # Any failure degrades to the legacy blind L-route — loudly, and
             # fatally under REPRO_STRICT=1 (the legacy route is exactly the
@@ -366,14 +401,18 @@ class ChipAssembler:
                 f"{analyzer.technology.lambda_nm}) vs "
                 f"{self.technology.name!r} (lambda {self.technology.lambda_nm})"
             )
-        report = SignOffReport(
-            violations=analyzer.drc(self._chip),
-            circuit=analyzer.extract(self._chip),
-            metrics=analyzer.measure(self._chip),
-            timing=self._timing_report(analyzer),
-            erc=analyzer.erc(self._chip),
-        )
+        with obs_trace.span("assembly.sign_off", cat="assembly",
+                            chip=self.name):
+            report = SignOffReport(
+                violations=analyzer.drc(self._chip),
+                circuit=analyzer.extract(self._chip),
+                metrics=analyzer.measure(self._chip),
+                timing=self._timing_report(analyzer),
+                erc=analyzer.erc(self._chip),
+            )
         report.store = analyzer.store.stats()
+        _sync_store_gauges(report.store)
+        report.flow_metrics = obs_metrics.snapshot()
         return report
 
     def _timing_report(self, analyzer) -> ChipTimingReport:

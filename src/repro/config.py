@@ -28,6 +28,18 @@ Variable              Default      Meaning
                                    starts survive process restarts and worker
                                    processes publish prewarmed artifacts once
                                    instead of pickling them back per run.
+``REPRO_TRACE``       unset        Path of a Chrome trace-event JSON file.  When
+                                   set, :mod:`repro.obs.trace` records spans for
+                                   every flow stage (analysis passes, PnR
+                                   escalation, sim settle, store traffic,
+                                   including pool-worker spans) and writes the
+                                   trace there at process exit; open it in
+                                   Perfetto.  Unset, tracing is off and the
+                                   instrumentation is a no-op.
+``REPRO_METRICS``     unset        Path of a JSON file receiving a final
+                                   :mod:`repro.obs.metrics` registry snapshot
+                                   (fallback/diagnostic counts, store and PnR
+                                   counters, phase timings) at process exit.
 ===================== ============ ===================================================
 
 Parsing raises ``ValueError`` on malformed values (a typo'd knob silently
@@ -46,6 +58,8 @@ __all__ = [
     "parallel_min",
     "strict_mode",
     "store_dir",
+    "trace_path",
+    "metrics_path",
 ]
 
 #: Default for ``REPRO_PARALLEL_MIN``: below this many flat rectangles the
@@ -109,3 +123,31 @@ def store_dir() -> Optional[str]:
         raise ValueError(
             f"REPRO_STORE points at a non-directory: {raw!r}")
     return raw
+
+
+def _output_path(variable: str) -> Optional[str]:
+    """A writable-file knob: ``None`` when unset, a directory is an error."""
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return None
+    if os.path.isdir(raw):
+        raise ValueError(f"{variable} points at a directory: {raw!r}")
+    return raw
+
+
+def trace_path() -> Optional[str]:
+    """Chrome trace-event output path from ``REPRO_TRACE``.
+
+    When set, :mod:`repro.obs.trace` enables span recording at import and
+    writes the trace there at process exit; ``None`` disables tracing.
+    """
+    return _output_path("REPRO_TRACE")
+
+
+def metrics_path() -> Optional[str]:
+    """Metrics snapshot output path from ``REPRO_METRICS``.
+
+    When set, :mod:`repro.obs.metrics` dumps a final registry snapshot as
+    JSON there at process exit; ``None`` disables the dump.
+    """
+    return _output_path("REPRO_METRICS")

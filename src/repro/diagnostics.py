@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Iterator, List, Optional, TypeVar
 
+from repro.obs import metrics as _metrics
+
 _T = TypeVar("_T")
 
 _ROOT_LOGGER = logging.getLogger("repro")
@@ -147,6 +149,7 @@ class DiagnosticCollector:
 
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
         self.diagnostics.append(diagnostic)
+        _metrics.counter(f"diagnostics.{diagnostic.code}").inc()
         level = {Severity.INFO: logging.INFO,
                  Severity.WARNING: logging.WARNING,
                  Severity.ERROR: logging.ERROR,
@@ -273,18 +276,34 @@ class Budget:
         if self.seconds is not None:
             self._deadline = time.monotonic() + self.seconds
 
+    def consumed_fraction(self) -> float:
+        """How much of the iteration budget is used (0.0–1.0+, 0 if uncapped)."""
+        if not self.iterations:
+            return 0.0
+        return self.count / self.iterations
+
+    def _record_consumption(self) -> None:
+        name = self.label.replace(" ", "_")
+        _metrics.gauge(
+            f"budget.{name}.consumed_fraction").set(self.consumed_fraction())
+
     def tick(self, message: Optional[str] = None) -> int:
         self.count += 1
         if self.iterations is not None and self.count > self.iterations:
+            self._record_consumption()
+            _metrics.counter(f"budget.exceeded.{self.code}").inc()
             raise BudgetExceeded(
                 message or f"{self.label} exceeded {self.iterations} iterations",
                 Diagnostic(Severity.ERROR, self.code,
                            message or (f"{self.label} exceeded "
                                        f"{self.iterations} iterations"),
                            hint="raise the budget or check for oscillation"))
+        if self.count % self.time_check_every == 0:
+            self._record_consumption()
         if (self._deadline is not None
                 and self.count % self.time_check_every == 0
                 and time.monotonic() > self._deadline):
+            _metrics.counter(f"budget.exceeded.{self.code}").inc()
             raise BudgetExceeded(
                 message or f"{self.label} exceeded {self.seconds}s time budget",
                 Diagnostic(Severity.ERROR, self.code,
@@ -319,6 +338,7 @@ def run_with_fallback(label: str,
     except Exception as exc:                      # noqa: BLE001 - the point
         if strict_mode():
             raise
+        _metrics.counter(f"fallback.{code}").inc()
         message = (f"{label}: fast path failed "
                    f"({type(exc).__name__}: {exc}); "
                    "falling back to the reference implementation")

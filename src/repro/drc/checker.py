@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.diagnostics import run_with_fallback
 from repro.geometry.index import SpatialIndex, build_index
+from repro.obs import trace as obs_trace
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
@@ -125,6 +126,12 @@ class DrcChecker:
 
     def check(self, cell: Cell) -> List[DrcViolation]:
         """Flatten ``cell`` and return all violations found."""
+        with obs_trace.span("drc.check", cat="drc", cell=cell.name) as span:
+            violations = self._check_entry(cell)
+            span.set(violations=len(violations))
+            return violations
+
+    def _check_entry(self, cell: Cell) -> List[DrcViolation]:
         if not self.use_index:
             return self._check(cell, brute=True)
 

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import Diagnostic, Severity, get_logger
 from repro.geometry.index import UnionFind
+from repro.obs import trace as obs_trace
 from repro.netlist.module import GateType, Module
 from repro.netlist.switch_sim import (
     GND,
@@ -172,6 +173,12 @@ class ErcChecker:
     def check_network(self, network: SwitchNetwork,
                       name: Optional[str] = None) -> ErcReport:
         """All switch-level checks (ERC001–ERC005) on one network."""
+        with obs_trace.span("erc.check", cat="erc",
+                            cell=name or network.name):
+            return self._check_network(network, name)
+
+    def _check_network(self, network: SwitchNetwork,
+                       name: Optional[str] = None) -> ErcReport:
         report = ErcReport(name or network.name,
                            device_count=network.device_count(),
                            node_count=len(network.nodes()))

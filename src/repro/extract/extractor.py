@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import run_with_fallback
 from repro.geometry.index import SpatialIndex, UnionFind, build_index
+from repro.obs import trace as obs_trace
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
@@ -108,6 +109,13 @@ class Extractor:
     # -- main entry point ------------------------------------------------------------
 
     def extract(self, cell: Cell) -> ExtractedCircuit:
+        with obs_trace.span("extract.extract", cat="extract",
+                            cell=cell.name) as span:
+            circuit = self._extract_entry(cell)
+            span.set(transistors=circuit.transistor_count)
+            return circuit
+
+    def _extract_entry(self, cell: Cell) -> ExtractedCircuit:
         if not self.use_index:
             return self._extract(cell, brute=True)
 

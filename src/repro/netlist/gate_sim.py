@@ -36,6 +36,9 @@ from repro.diagnostics import (
     run_with_fallback,
 )
 from repro.netlist.module import GateType, Instance, Module
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs import vcd as obs_vcd
 
 if TYPE_CHECKING:   # the kernel package imports this package's modules
     from repro.sim.kernel import ScalarEngine
@@ -183,6 +186,8 @@ class GateLevelSimulator:
                 depth += 1
             changed_nets = next_changed
         self.last_depth = depth
+        obs_metrics.counter("sim.settle.calls").inc()
+        obs_metrics.counter("sim.settle.iterations").inc(iterations)
         return depth
 
     def set_inputs(self, assignment: Dict[str, int]) -> None:
@@ -223,17 +228,35 @@ class GateLevelSimulator:
         self.settle()
 
     def run(self, input_sequence: Sequence[Dict[str, int]],
-            record: Optional[Iterable[str]] = None) -> SimulationTrace:
-        """Clocked simulation: apply one input vector per cycle."""
+            record: Optional[Iterable[str]] = None,
+            vcd: Optional[object] = None) -> SimulationTrace:
+        """Clocked simulation: apply one input vector per cycle.
+
+        ``vcd`` optionally streams the watched nets to a waveform dump: pass
+        a path (the writer is opened and closed here) or an open
+        :class:`repro.obs.vcd.VcdWriter` (caller keeps ownership).
+        """
         watch = list(record) if record is not None else (
             self.module.input_names() + self.module.output_names()
         )
         trace = SimulationTrace()
-        for vector in input_sequence:
-            self.set_inputs(vector)
-            self.settle()
-            trace.cycles.append({name: self.values.get(name) for name in watch})
-            self.clock()
+        owns_writer = isinstance(vcd, str)
+        writer = (obs_vcd.VcdWriter(vcd, module=self.module.name)
+                  if owns_writer else vcd)
+        try:
+            with obs_trace.span("sim.run", cat="sim", module=self.module.name,
+                                cycles=len(input_sequence)):
+                for time, vector in enumerate(input_sequence):
+                    self.set_inputs(vector)
+                    self.settle()
+                    sampled = {name: self.values.get(name) for name in watch}
+                    trace.cycles.append(sampled)
+                    if writer is not None:
+                        writer.sample(time, sampled)
+                    self.clock()
+        finally:
+            if owns_writer and writer is not None:
+                writer.close()
         return trace
 
     def reset(self, value: int = 0) -> None:

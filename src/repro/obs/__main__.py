@@ -1,0 +1,49 @@
+"""Validate observability artifacts with the in-repo readers.
+
+Usage::
+
+    python -m repro.obs trace.json waves.vcd ...
+
+``.json`` files are checked as Chrome trace-event JSON
+(:func:`repro.obs.trace.read_trace`), everything else as VCD
+(:func:`repro.obs.vcd.read_vcd`).  Prints a one-line summary per file and
+exits non-zero on the first invalid one — CI runs this over the artifacts
+the traced examples emit.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs import trace, vcd
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs <trace.json|waves.vcd> ...",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            if path.endswith(".json"):
+                result = trace.read_trace(path)
+                pids = sorted(result["pids"])
+                print(f"{path}: OK — {len(result['events'])} events, "
+                      f"categories {sorted(result['categories'])}, "
+                      f"pids {pids}")
+            else:
+                parsed = vcd.read_vcd(path)
+                changes = sum(len(v) for v in parsed.changes.values())
+                print(f"{path}: OK — {len(parsed.signals)} signals, "
+                      f"{changes} value changes, "
+                      f"timescale {parsed.timescale!r}")
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,8 +35,10 @@ picklable.  Pool failures degrade to in-process execution via
 from __future__ import annotations
 
 import math
+import time
 from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -44,12 +46,13 @@ from repro import config
 from repro.config import DEFAULT_PARALLEL_MIN
 from repro.diagnostics import run_with_fallback
 from repro.geometry.rect import Rect
+from repro.obs import metrics, trace
 
 __all__ = [
     "DEFAULT_PARALLEL_MIN",
     "worker_count", "parallel_threshold", "in_worker",
     "SharedPool", "TileGrid", "plan_grid",
-    "log_phase", "phase_log", "reset_phase_log",
+    "log_phase", "phase_log", "reset_phase_log", "phase",
 ]
 
 def worker_count(override: Optional[int] = None) -> int:
@@ -92,11 +95,32 @@ def _init_worker(worker: Callable, payload: object) -> None:
     _IN_WORKER = True
 
 
+class _TracedResult:
+    """A worker result with the spans the worker buffered while computing it.
+
+    Wrapping happens only when tracing is enabled in the worker; the parent
+    unwraps by ``isinstance`` in :meth:`SharedPool._map_pool`, so the
+    protocol tolerates parent/worker enablement disagreeing (e.g. spawn
+    workers that never saw a programmatic :func:`repro.obs.trace.enable`).
+    """
+
+    __slots__ = ("result", "events")
+
+    def __init__(self, result, events):
+        self.result = result
+        self.events = events
+
+
 def _call_shared(task):
     global _IN_WORKER
-    _IN_WORKER = True   # under fork the flag is set lazily, in the child only
+    if not _IN_WORKER:
+        _IN_WORKER = True   # under fork the flag is set lazily, in the child
+        trace.fork_reset()  # drop span history inherited from the parent
     worker, payload = _SHARED
-    return worker(payload, task)
+    if not trace.enabled():
+        return worker(payload, task)
+    result = worker(payload, task)
+    return _TracedResult(result, trace.drain())
 
 
 class SharedPool:
@@ -156,7 +180,15 @@ class SharedPool:
     def _map_pool(self, tasks: Sequence) -> List:
         executor = self._ensure_executor()
         chunksize = max(1, len(tasks) // (self.workers * 4))
-        return list(executor.map(_call_shared, tasks, chunksize=chunksize))
+        raw = list(executor.map(_call_shared, tasks, chunksize=chunksize))
+        results = []
+        for item in raw:
+            if isinstance(item, _TracedResult):
+                trace.ingest(item.events)
+                results.append(item.result)
+            else:
+                results.append(item)
+        return results
 
     def map(self, tasks: Sequence) -> List:
         tasks = list(tasks)
@@ -288,21 +320,43 @@ def select_touching(rects: Sequence[Rect], probe: Rect,
 # Per-engine wall time of the shard (payload/tile planning), execute (pool
 # maps) and merge (deterministic reassembly) phases of the most recent
 # parallel run; recorded into BENCH_e16.json so scaling regressions are
-# diagnosable phase by phase.
-_PHASE_LOG: Dict[str, Dict[str, float]] = {}
+# diagnosable phase by phase.  Since the obs layer landed, the storage is
+# the process-global metrics registry (``parallel.<engine>.<phase>_seconds``
+# counters) so phase accounting and tracing share one mechanism; these
+# functions remain as the stable API over it.
+
+_PHASE_PREFIX = "parallel."
+_PHASE_SUFFIX = "_seconds"
 
 
 def log_phase(engine: str, phase: str, seconds: float) -> None:
-    _PHASE_LOG.setdefault(engine, {})[phase] = (
-        _PHASE_LOG.get(engine, {}).get(phase, 0.0) + seconds)
+    metrics.counter(
+        f"{_PHASE_PREFIX}{engine}.{phase}{_PHASE_SUFFIX}").add(seconds)
 
 
 def phase_log(engine: str) -> Dict[str, float]:
-    return dict(_PHASE_LOG.get(engine, {}))
+    prefix = f"{_PHASE_PREFIX}{engine}."
+    out: Dict[str, float] = {}
+    for name, value in metrics.snapshot(prefix).items():
+        if name.endswith(_PHASE_SUFFIX) and isinstance(value, (int, float)):
+            out[name[len(prefix):-len(_PHASE_SUFFIX)]] = value
+    return out
 
 
 def reset_phase_log(engine: Optional[str] = None) -> None:
     if engine is None:
-        _PHASE_LOG.clear()
+        metrics.reset_metrics(_PHASE_PREFIX)
     else:
-        _PHASE_LOG.pop(engine, None)
+        metrics.reset_metrics(f"{_PHASE_PREFIX}{engine}.")
+
+
+@contextmanager
+def phase(engine: str, name: str):
+    """Time one shard/execute/merge phase: metric counter plus trace span."""
+    with trace.span(f"parallel.{engine}.{name}", cat="parallel",
+                    engine=engine, phase=name):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            log_phase(engine, name, time.perf_counter() - start)

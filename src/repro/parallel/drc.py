@@ -33,7 +33,6 @@ per-tile binning and ships no per-task geometry.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.drc.checker import (
@@ -44,12 +43,13 @@ from repro.drc.checker import (
 from repro.geometry.index import UnionFind, build_index
 from repro.geometry.rect import Rect, merged_area
 from repro.layout.flatten import flatten_cell
+from repro.obs import trace
 from repro.technology.rules import RuleKind
 
 from repro.parallel import (
     SharedPool,
     TileGrid,
-    log_phase,
+    phase,
     plan_grid,
     reset_phase_log,
     select_touching,
@@ -75,16 +75,23 @@ def _geometry_worker(payload, task):
         _tag, layer, comps = task
         inputs = payload["merge_inputs"][layer]
         out = []
-        for comp in comps:
-            group = [inputs[i] for i in comp]
-            bounding = group[0]
-            for rect in group[1:]:
-                bounding = bounding.union(rect)
-            out.append((len(group) == 1 or merged_area(group) == bounding.area,
-                        bounding))
+        with trace.span("drc.finalize", cat="drc", layer=layer,
+                        components=len(comps)):
+            for comp in comps:
+                group = [inputs[i] for i in comp]
+                bounding = group[0]
+                for rect in group[1:]:
+                    bounding = bounding.union(rect)
+                out.append((len(group) == 1
+                            or merged_area(group) == bounding.area, bounding))
         return out
 
     _tag, tile = task
+    with trace.span("drc.tile", cat="drc", tile=str(tile)):
+        return _geometry_tile(payload, tile)
+
+
+def _geometry_tile(payload, tile):
     grid: TileGrid = payload["grid"]
     region = grid.rect_of(tile)
 
@@ -133,6 +140,11 @@ def _geometry_worker(payload, task):
 
 def _spacing_worker(payload, task):
     """Per-tile spacing verdicts on the merged regions (pool round 2)."""
+    with trace.span("drc.spacing_tile", cat="drc", tile=str(task)):
+        return _spacing_tile(payload, task)
+
+
+def _spacing_tile(payload, task):
     grid: TileGrid = payload["grid"]
     region = grid.rect_of(task)
     merged = payload["merged"]
@@ -171,7 +183,15 @@ def parallel_check(checker, cell, workers: Optional[int] = None,
                    tiles_per_worker: int = TILES_PER_WORKER) -> List[DrcViolation]:
     """Sharded equivalent of ``DrcChecker._check(cell, brute=False)``."""
     reset_phase_log("drc")
-    t0 = time.perf_counter()
+    with phase("drc", "shard"):
+        shared = _shard(checker, cell, workers, tiles_per_worker)
+    if shared is None:
+        return checker._check(cell, brute=False)
+    return _execute(checker, cell, workers, tiles_per_worker, *shared)
+
+
+def _shard(checker, cell, workers, tiles_per_worker):
+    """Plan the grid and build the fork-shared payload (phase: shard)."""
     technology = checker.technology
     flat = flatten_cell(cell)
     rects_by_layer = flat.rects_by_layer()
@@ -209,63 +229,66 @@ def parallel_check(checker, cell, workers: Optional[int] = None,
             for rect in rects:
                 bbox = rect if bbox is None else bbox.union(rect)
     if bbox is None:
-        return checker._check(cell, brute=False)
+        return None     # degenerate layout: caller degrades to serial
 
     pool_workers = max(1, 2 if workers is None else workers)
     grid = plan_grid(bbox, pool_workers * tiles_per_worker)
     payload = {"grid": grid, "merge_inputs": merge_inputs, "raw": raw,
                "enc_rules": enc_rules}
-    log_phase("drc", "shard", time.perf_counter() - t0)
+    return (grid, payload, rects_by_layer, merge_inputs, sp_rules)
 
+
+def _execute(checker, cell, workers, tiles_per_worker,
+             grid, payload, rects_by_layer, merge_inputs,
+             sp_rules) -> List[DrcViolation]:
+    technology = checker.technology
+    pool_workers = max(1, 2 if workers is None else workers)
     with SharedPool("sharded DRC geometry", _geometry_worker, payload,
                     workers=workers) as pool:
-        t1 = time.perf_counter()
-        tile_results = pool.map([("tile", tile) for tile in grid.tiles()])
-        log_phase("drc", "execute", time.perf_counter() - t1)
+        with phase("drc", "execute"):
+            tile_results = pool.map([("tile", tile) for tile in grid.tiles()])
 
         # Stitch cross-tile connectivity: one union-find per merge layer over
         # the edges every tile discovered.
-        t2 = time.perf_counter()
-        components: Dict[str, List[List[int]]] = {}
-        for layer, inputs in merge_inputs.items():
-            finder = UnionFind(len(inputs))
-            for result in tile_results:
-                for a, b in result["edges"].get(layer, ()):
-                    finder.union(a, b)
-            components[layer] = finder.components()
+        with phase("drc", "merge"):
+            components: Dict[str, List[List[int]]] = {}
+            for layer, inputs in merge_inputs.items():
+                finder = UnionFind(len(inputs))
+                for result in tile_results:
+                    for a, b in result["edges"].get(layer, ()):
+                        finder.union(a, b)
+                components[layer] = finder.components()
 
-        finalize_tasks = []
-        for layer, comps in components.items():
-            chunk = max(1, len(comps) // (pool_workers * tiles_per_worker))
-            for start in range(0, len(comps), chunk):
-                finalize_tasks.append(
-                    ("finalize", layer,
-                     [tuple(c) for c in comps[start:start + chunk]]))
-        log_phase("drc", "merge", time.perf_counter() - t2)
+            finalize_tasks = []
+            for layer, comps in components.items():
+                chunk = max(1, len(comps) // (pool_workers * tiles_per_worker))
+                for start in range(0, len(comps), chunk):
+                    finalize_tasks.append(
+                        ("finalize", layer,
+                         [tuple(c) for c in comps[start:start + chunk]]))
 
-        t3 = time.perf_counter()
-        finalize_results = pool.map(finalize_tasks)
-        log_phase("drc", "execute", time.perf_counter() - t3)
+        with phase("drc", "execute"):
+            finalize_results = pool.map(finalize_tasks)
 
     # Materialize the merged lists in `_merge_touching`'s emission order:
     # components by smallest member; a covered component collapses to its
     # bounding box, any other keeps its members in ascending order.
-    t4 = time.perf_counter()
-    merged: Dict[str, List[Rect]] = {}
-    per_layer_verdicts: Dict[str, List[Tuple[bool, Rect]]] = {
-        layer: [] for layer in components}
-    for task, result in zip(finalize_tasks, finalize_results):
-        per_layer_verdicts[task[1]].extend(result)
-    for layer, comps in components.items():
-        inputs = merge_inputs[layer]
-        out: List[Rect] = []
-        for comp, (covered, bounding) in zip(comps, per_layer_verdicts[layer]):
-            if covered:
-                out.append(bounding)
-            else:
-                out.extend(inputs[i] for i in comp)
-        merged[layer] = out
-    log_phase("drc", "merge", time.perf_counter() - t4)
+    with phase("drc", "merge"):
+        merged: Dict[str, List[Rect]] = {}
+        per_layer_verdicts: Dict[str, List[Tuple[bool, Rect]]] = {
+            layer: [] for layer in components}
+        for task, result in zip(finalize_tasks, finalize_results):
+            per_layer_verdicts[task[1]].extend(result)
+        for layer, comps in components.items():
+            inputs = merge_inputs[layer]
+            out: List[Rect] = []
+            for comp, (covered, bounding) in zip(comps,
+                                                 per_layer_verdicts[layer]):
+                if covered:
+                    out.append(bounding)
+                else:
+                    out.extend(inputs[i] for i in comp)
+            merged[layer] = out
 
     # Round 2: spacing on the merged regions.
     spacing_hits: List[List[Tuple[int, int, int, DrcViolation]]] = []
@@ -273,36 +296,35 @@ def parallel_check(checker, cell, workers: Optional[int] = None,
         payload2 = {"grid": grid, "merged": merged, "sp_rules": sp_rules}
         with SharedPool("sharded DRC spacing", _spacing_worker, payload2,
                         workers=workers) as pool:
-            t5 = time.perf_counter()
-            spacing_hits = pool.map(grid.tiles())
-            log_phase("drc", "execute", time.perf_counter() - t5)
+            with phase("drc", "execute"):
+                spacing_hits = pool.map(grid.tiles())
 
     # Deterministic assembly in the serial checker's rule-by-rule order.
-    t6 = time.perf_counter()
-    spacing_by_rule: Dict[int, Dict[Tuple[int, int], DrcViolation]] = {}
-    for tile_hits in spacing_hits:
-        for rule_index, ga, gb, violation in tile_hits:
-            spacing_by_rule.setdefault(rule_index, {}).setdefault((ga, gb),
-                                                                  violation)
-    enclosure_by_rule: Dict[int, List[Tuple[int, DrcViolation]]] = {}
-    for result in tile_results:
-        for rule_index, gid, violation in result["enclosure"]:
-            enclosure_by_rule.setdefault(rule_index, []).append((gid, violation))
+    with phase("drc", "merge"):
+        spacing_by_rule: Dict[int, Dict[Tuple[int, int], DrcViolation]] = {}
+        for tile_hits in spacing_hits:
+            for rule_index, ga, gb, violation in tile_hits:
+                spacing_by_rule.setdefault(rule_index, {}).setdefault(
+                    (ga, gb), violation)
+        enclosure_by_rule: Dict[int, List[Tuple[int, DrcViolation]]] = {}
+        for result in tile_results:
+            for rule_index, gid, violation in result["enclosure"]:
+                enclosure_by_rule.setdefault(rule_index, []).append(
+                    (gid, violation))
 
-    violations: List[DrcViolation] = []
-    for rule_index, rule in enumerate(technology.rules):
-        if rule.kind is RuleKind.MIN_WIDTH:
-            violations.extend(checker._check_width(
-                rule, merged.get(rule.layers[0], [])))
-        elif rule.kind is RuleKind.MIN_SPACING:
-            pairs = spacing_by_rule.get(rule_index, {})
-            violations.extend(pairs[key] for key in sorted(pairs))
-        elif rule.kind is RuleKind.MIN_ENCLOSURE:
-            hits = enclosure_by_rule.get(rule_index, [])
-            hits.sort(key=lambda entry: entry[0])
-            violations.extend(violation for _gid, violation in hits)
-        elif rule.kind is RuleKind.EXACT_SIZE:
-            violations.extend(checker._check_exact_size(
-                rule, rects_by_layer.get(rule.layers[0], [])))
-    log_phase("drc", "merge", time.perf_counter() - t6)
+        violations: List[DrcViolation] = []
+        for rule_index, rule in enumerate(technology.rules):
+            if rule.kind is RuleKind.MIN_WIDTH:
+                violations.extend(checker._check_width(
+                    rule, merged.get(rule.layers[0], [])))
+            elif rule.kind is RuleKind.MIN_SPACING:
+                pairs = spacing_by_rule.get(rule_index, {})
+                violations.extend(pairs[key] for key in sorted(pairs))
+            elif rule.kind is RuleKind.MIN_ENCLOSURE:
+                hits = enclosure_by_rule.get(rule_index, [])
+                hits.sort(key=lambda entry: entry[0])
+                violations.extend(violation for _gid, violation in hits)
+            elif rule.kind is RuleKind.EXACT_SIZE:
+                violations.extend(checker._check_exact_size(
+                    rule, rects_by_layer.get(rule.layers[0], [])))
     return violations

@@ -31,7 +31,6 @@ Byte-identity hinges on ordering, which the parent reconstructs exactly:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.extract.extractor import (
@@ -49,12 +48,13 @@ from repro.geometry.index import build_index
 from repro.geometry.rect import Rect
 from repro.layout.flatten import flatten_cell
 from repro.netlist.switch_sim import SwitchNetwork
+from repro.obs import trace
 from repro.timing.parasitics import ParasiticModel, annotate_parasitics
 
 from repro.parallel import (
     SharedPool,
     TileGrid,
-    log_phase,
+    phase,
     plan_grid,
     reset_phase_log,
     select_touching,
@@ -91,6 +91,11 @@ def _touch_edges(rects, region: Rect) -> List[Tuple[int, int]]:
 
 def _stage1_worker(payload, tile):
     """Channel crossings for owned poly + poly/metal touching edges."""
+    with trace.span("extract.channels_tile", cat="extract", tile=str(tile)):
+        return _stage1_tile(payload, tile)
+
+
+def _stage1_tile(payload, tile):
     grid: TileGrid = payload["grid"]
     region = grid.rect_of(tile)
     poly = payload["poly"]
@@ -122,6 +127,11 @@ def _stage1_worker(payload, tile):
 
 def _stage2_worker(payload, tile):
     """Split owned diffusion rectangles by their crossing channels."""
+    with trace.span("extract.pieces_tile", cat="extract", tile=str(tile)):
+        return _stage2_tile(payload, tile)
+
+
+def _stage2_tile(payload, tile):
     grid: TileGrid = payload["grid"]
     diffusion = payload["diffusion"]
     channels = payload["channels"]
@@ -140,6 +150,12 @@ def _stage2_worker(payload, tile):
 
 def _stage3_worker(payload, tile):
     """Connectivity, contact/label resolutions and device data per tile."""
+    with trace.span("extract.connectivity_tile", cat="extract",
+                    tile=str(tile)):
+        return _stage3_tile(payload, tile)
+
+
+def _stage3_tile(payload, tile):
     grid: TileGrid = payload["grid"]
     region = grid.rect_of(tile)
     pieces = payload["pieces"]
@@ -250,73 +266,68 @@ def parallel_extract(extractor, cell, workers: Optional[int] = None,
                      tiles_per_worker: int = TILES_PER_WORKER) -> ExtractedCircuit:
     """Sharded equivalent of ``Extractor._extract(cell, brute=False)``."""
     reset_phase_log("extract")
-    t0 = time.perf_counter()
-    flat = flatten_cell(cell)
-    rects = flat.rects_by_layer()
-    diffusion = [r for layer in extractor._diffusion_layers
-                 for r in rects.get(layer, [])]
-    poly = rects.get("poly", [])
-    metal = rects.get("metal", [])
-    contacts = rects.get("contact", [])
-    buried = rects.get("buried", [])
-    implant = rects.get("implant", [])
+    with phase("extract", "shard"):
+        flat = flatten_cell(cell)
+        rects = flat.rects_by_layer()
+        diffusion = [r for layer in extractor._diffusion_layers
+                     for r in rects.get(layer, [])]
+        poly = rects.get("poly", [])
+        metal = rects.get("metal", [])
+        contacts = rects.get("contact", [])
+        buried = rects.get("buried", [])
+        implant = rects.get("implant", [])
 
-    bbox: Optional[Rect] = None
-    for table in (diffusion, poly, metal, contacts, buried, implant):
-        for rect in table:
-            bbox = rect if bbox is None else bbox.union(rect)
-    if bbox is None:
-        return extractor._extract(cell, brute=False)
+        bbox: Optional[Rect] = None
+        for table in (diffusion, poly, metal, contacts, buried, implant):
+            for rect in table:
+                bbox = rect if bbox is None else bbox.union(rect)
+        if bbox is None:
+            return extractor._extract(cell, brute=False)
 
-    pool_workers = 2 if workers is None else workers
-    grid = plan_grid(bbox, pool_workers * tiles_per_worker)
-    tiles = grid.tiles()
-    payload1 = {"grid": grid, "diffusion": diffusion, "poly": poly,
-                "metal": metal, "buried": buried}
-    log_phase("extract", "shard", time.perf_counter() - t0)
+        pool_workers = 2 if workers is None else workers
+        grid = plan_grid(bbox, pool_workers * tiles_per_worker)
+        tiles = grid.tiles()
+        payload1 = {"grid": grid, "diffusion": diffusion, "poly": poly,
+                    "metal": metal, "buried": buried}
 
     # Round 1: channel crossings + poly/metal same-layer edges.
     with SharedPool("sharded extraction channels", _stage1_worker,
                     payload1, workers=workers) as pool:
-        t1 = time.perf_counter()
-        stage1 = pool.map(tiles)
-        log_phase("extract", "execute", time.perf_counter() - t1)
+        with phase("extract", "execute"):
+            stage1 = pool.map(tiles)
 
     # Replay channel discovery in the serial poly order, then dedupe.
-    t2 = time.perf_counter()
-    crossings: Dict[int, List[Tuple[int, Rect, bool]]] = {}
-    poly_edges: List[Tuple[int, int]] = []
-    metal_edges: List[Tuple[int, int]] = []
-    for result in stage1:
-        crossings.update(result["crossings"])
-        poly_edges.extend(result["poly_edges"])
-        metal_edges.extend(result["metal_edges"])
-    channels: List[Rect] = []
-    for poly_gid in range(len(poly)):
-        for _diff_id, overlap, covered in crossings.get(poly_gid, ()):
-            if not covered:
-                channels.append(overlap)
-    channels = _dedupe(channels)
-    log_phase("extract", "merge", time.perf_counter() - t2)
+    with phase("extract", "merge"):
+        crossings: Dict[int, List[Tuple[int, Rect, bool]]] = {}
+        poly_edges: List[Tuple[int, int]] = []
+        metal_edges: List[Tuple[int, int]] = []
+        for result in stage1:
+            crossings.update(result["crossings"])
+            poly_edges.extend(result["poly_edges"])
+            metal_edges.extend(result["metal_edges"])
+        channels: List[Rect] = []
+        for poly_gid in range(len(poly)):
+            for _diff_id, overlap, covered in crossings.get(poly_gid, ()):
+                if not covered:
+                    channels.append(overlap)
+        channels = _dedupe(channels)
 
     # Round 2: split diffusion by crossing channels.
     payload2 = {"grid": grid, "diffusion": diffusion, "channels": channels}
     with SharedPool("sharded extraction pieces", _stage2_worker,
                     payload2, workers=workers) as pool:
-        t3 = time.perf_counter()
-        stage2 = pool.map(tiles)
-        log_phase("extract", "execute", time.perf_counter() - t3)
+        with phase("extract", "execute"):
+            stage2 = pool.map(tiles)
 
-    t4 = time.perf_counter()
-    pieces_of: Dict[int, List[Rect]] = {}
-    for result in stage2:
-        pieces_of.update(result)
-    diffusion_pieces: List[Rect] = []
-    for diff_gid in range(len(diffusion)):
-        diffusion_pieces.extend(pieces_of.get(diff_gid, ()))
-    pieces_end = len(diffusion_pieces)
-    metal_start = pieces_end + len(poly)
-    log_phase("extract", "merge", time.perf_counter() - t4)
+    with phase("extract", "merge"):
+        pieces_of: Dict[int, List[Rect]] = {}
+        for result in stage2:
+            pieces_of.update(result)
+        diffusion_pieces: List[Rect] = []
+        for diff_gid in range(len(diffusion)):
+            diffusion_pieces.extend(pieces_of.get(diff_gid, ()))
+        pieces_end = len(diffusion_pieces)
+        metal_start = pieces_end + len(poly)
 
     # Round 3: piece connectivity, contact/buried/label hits, device data.
     payload3 = {"grid": grid, "pieces": diffusion_pieces, "poly": poly,
@@ -327,85 +338,83 @@ def parallel_extract(extractor, cell, workers: Optional[int] = None,
                 "diffusion_layers": extractor._diffusion_layers}
     with SharedPool("sharded extraction connectivity", _stage3_worker,
                     payload3, workers=workers) as pool:
-        t5 = time.perf_counter()
-        stage3 = pool.map(tiles)
-        log_phase("extract", "execute", time.perf_counter() - t5)
+        with phase("extract", "execute"):
+            stage3 = pool.map(tiles)
 
     # Deterministic reassembly: the serial pipeline's steps 3-5 with every
     # geometric question pre-answered.
-    t6 = time.perf_counter()
-    piece_edges: List[Tuple[int, int]] = []
-    contact_touch: Dict[int, List[int]] = {}
-    buried_touch: Dict[int, List[int]] = {}
-    label_hits: Dict[int, List[int]] = {}
-    devices: Dict[int, Tuple[Optional[int], List[int], bool]] = {}
-    for result in stage3:
-        piece_edges.extend(result["piece_edges"])
-        contact_touch.update(result["contact_touch"])
-        buried_touch.update(result["buried_touch"])
-        label_hits.update(result["label_hits"])
-        devices.update(result["devices"])
+    with phase("extract", "merge"):
+        piece_edges: List[Tuple[int, int]] = []
+        contact_touch: Dict[int, List[int]] = {}
+        buried_touch: Dict[int, List[int]] = {}
+        label_hits: Dict[int, List[int]] = {}
+        devices: Dict[int, Tuple[Optional[int], List[int], bool]] = {}
+        for result in stage3:
+            piece_edges.extend(result["piece_edges"])
+            contact_touch.update(result["contact_touch"])
+            buried_touch.update(result["buried_touch"])
+            label_hits.update(result["label_hits"])
+            devices.update(result["devices"])
 
-    builder = _NodeBuilder()
-    for r in diffusion_pieces:
-        builder.add("diffusion", r)
-    for r in poly:
-        builder.add("poly", r)
-    for r in metal:
-        builder.add("metal", r)
+        builder = _NodeBuilder()
+        for r in diffusion_pieces:
+            builder.add("diffusion", r)
+        for r in poly:
+            builder.add("poly", r)
+        for r in metal:
+            builder.add("metal", r)
 
-    for a, b in piece_edges:
-        builder.union(a, b)
-    for a, b in poly_edges:
-        builder.union(pieces_end + a, pieces_end + b)
-    for a, b in metal_edges:
-        builder.union(metal_start + a, metal_start + b)
-    for cut_gid in range(len(contacts)):
-        touching = contact_touch.get(cut_gid, [])
-        for first, second in zip(touching, touching[1:]):
-            builder.union(first, second)
-    for buried_gid in range(len(buried)):
-        touching = buried_touch.get(buried_gid, [])
-        for first, second in zip(touching, touching[1:]):
-            builder.union(first, second)
+        for a, b in piece_edges:
+            builder.union(a, b)
+        for a, b in poly_edges:
+            builder.union(pieces_end + a, pieces_end + b)
+        for a, b in metal_edges:
+            builder.union(metal_start + a, metal_start + b)
+        for cut_gid in range(len(contacts)):
+            touching = contact_touch.get(cut_gid, [])
+            for first, second in zip(touching, touching[1:]):
+                builder.union(first, second)
+        for buried_gid in range(len(buried)):
+            touching = buried_touch.get(buried_gid, [])
+            for first, second in zip(touching, touching[1:]):
+                builder.union(first, second)
 
-    first_hit: Dict[int, str] = {}
-    supply_hit: Dict[int, str] = {}
-    for label_index, label in enumerate(flat.labels):
-        apply_label(label, label_hits.get(label_index, []), builder.find,
-                    supply_hit, first_hit)
-    groups = builder.groups()
-    names, node_of_item = resolve_node_names(groups, supply_hit, first_hit)
+        first_hit: Dict[int, str] = {}
+        supply_hit: Dict[int, str] = {}
+        for label_index, label in enumerate(flat.labels):
+            apply_label(label, label_hits.get(label_index, []), builder.find,
+                        supply_hit, first_hit)
+        groups = builder.groups()
+        names, node_of_item = resolve_node_names(groups, supply_hit, first_hit)
 
-    network = SwitchNetwork(cell.name)
-    enhancement = depletion = 0
-    device_channels: List[Rect] = []
-    for index, channel in enumerate(channels):
-        gate_gid, terminal_ids, is_depletion = devices[index]
-        gate_node = (None if gate_gid is None
-                     else node_of_item[pieces_end + gate_gid])
-        terminals = dedupe_nodes(terminal_ids, node_of_item)
-        device = emit_transistor(network, index, channel, gate_node,
-                                 terminals, is_depletion)
-        if device is not None:
-            device_channels.append(channel)
-            if is_depletion:
-                depletion += 1
-            else:
-                enhancement += 1
+        network = SwitchNetwork(cell.name)
+        enhancement = depletion = 0
+        device_channels: List[Rect] = []
+        for index, channel in enumerate(channels):
+            gate_gid, terminal_ids, is_depletion = devices[index]
+            gate_node = (None if gate_gid is None
+                         else node_of_item[pieces_end + gate_gid])
+            terminals = dedupe_nodes(terminal_ids, node_of_item)
+            device = emit_transistor(network, index, channel, gate_node,
+                                     terminals, is_depletion)
+            if device is not None:
+                device_channels.append(channel)
+                if is_depletion:
+                    depletion += 1
+                else:
+                    enhancement += 1
 
-    declare_ports(network, cell.ports, set(names.values()), flat.labels)
+        declare_ports(network, cell.ports, set(names.values()), flat.labels)
 
-    circuit = ExtractedCircuit(
-        cell_name=cell.name,
-        network=network,
-        node_names=sorted(set(names.values())),
-        transistor_count=len(network.transistors),
-        enhancement_count=enhancement,
-        depletion_count=depletion,
-        parasitics=annotate_parasitics(
-            ParasiticModel(extractor.technology), builder.items, node_of_item,
-            network.transistors, device_channels),
-    )
-    log_phase("extract", "merge", time.perf_counter() - t6)
+        circuit = ExtractedCircuit(
+            cell_name=cell.name,
+            network=network,
+            node_names=sorted(set(names.values())),
+            transistor_count=len(network.transistors),
+            enhancement_count=enhancement,
+            depletion_count=depletion,
+            parasitics=annotate_parasitics(
+                ParasiticModel(extractor.technology), builder.items, node_of_item,
+                network.transistors, device_channels),
+        )
     return circuit

@@ -37,14 +37,15 @@ Two deliberate simplifications:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple
+
+from repro.obs import trace
 
 from repro.parallel import (
     SharedPool,
     in_worker,
-    log_phase,
     parallel_threshold,
+    phase,
     reset_phase_log,
     worker_count,
 )
@@ -83,10 +84,16 @@ def _artifact_worker(payload, task):
     small acknowledgement crosses the process boundary; otherwise the
     artifacts themselves are returned in one pickle.
     """
-    from repro.analysis.hier import HierAnalyzer
-
     index, kinds = task
     cell, orientation = payload["pairs"][index]
+    with trace.span("hier.prewarm_pair", cat="hier", cell=cell.name,
+                    orientation=orientation.name, kinds=list(kinds)):
+        return _build_pair(payload, cell, orientation, kinds)
+
+
+def _build_pair(payload, cell, orientation, kinds):
+    from repro.analysis.hier import HierAnalyzer
+
     store = None
     store_dir = payload.get("store_dir")
     if store_dir is not None:
@@ -124,7 +131,6 @@ def prewarm(analyzer, cell, call: str) -> None:
 
     from repro.geometry.transform import Orientation
 
-    t0 = time.perf_counter()
     pairs: List[Tuple[object, Orientation]] = []
     seen = set()
     for instance in cell.instances:
@@ -140,26 +146,27 @@ def prewarm(analyzer, cell, call: str) -> None:
     if len(pairs) < 2 or flat_shape_count(cell) < parallel_threshold():
         return
 
-    reset_phase_log("hier")
-    payload = {"pairs": pairs, "technology": analyzer.technology,
-               "direct_threshold": analyzer.direct_threshold,
-               "store_dir": analyzer.store.persistent_dir}
-    tasks = [(index, kinds) for index in range(len(pairs))]
-    log_phase("hier", "shard", time.perf_counter() - t0)
+    with trace.span("hier.prewarm", cat="hier", cell=cell.name, call=call,
+                    pairs=len(pairs)):
+        reset_phase_log("hier")
+        with phase("hier", "shard"):
+            payload = {"pairs": pairs, "technology": analyzer.technology,
+                       "direct_threshold": analyzer.direct_threshold,
+                       "store_dir": analyzer.store.persistent_dir}
+            tasks = [(index, kinds) for index in range(len(pairs))]
 
-    t1 = time.perf_counter()
-    with SharedPool("hier artifact fan-out", _artifact_worker, payload,
-                    workers=workers) as pool:
-        results = pool.map(tasks)
-    log_phase("hier", "execute", time.perf_counter() - t1)
+        with phase("hier", "execute"):
+            with SharedPool("hier artifact fan-out", _artifact_worker,
+                            payload, workers=workers) as pool:
+                results = pool.map(tasks)
 
-    t2 = time.perf_counter()
-    for (pair_cell, orientation), bundle in zip(pairs, results):
-        if bundle is None:
-            continue   # skipped task: the serial path recomputes it
-        if bundle.get("published"):
-            continue   # already in the shared durable store
-        for kind, artifact in bundle.items():
-            if artifact is not None:
-                analyzer._store(kind, pair_cell, orientation, artifact)
-    log_phase("hier", "merge", time.perf_counter() - t2)
+        with phase("hier", "merge"):
+            for (pair_cell, orientation), bundle in zip(pairs, results):
+                if bundle is None:
+                    continue   # skipped task: the serial path recomputes it
+                if bundle.get("published"):
+                    continue   # already in the shared durable store
+                for kind, artifact in bundle.items():
+                    if artifact is not None:
+                        analyzer._store(kind, pair_cell, orientation,
+                                        artifact)

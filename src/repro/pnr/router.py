@@ -35,6 +35,8 @@ from repro.geometry.index import SpatialIndex, build_index
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.layout.cell import Cell
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.technology.technology import Technology
 
 
@@ -290,24 +292,42 @@ class PnrRouter:
         """Route every request into ``cell``; failures are collected, not
         raised, so the caller decides between strict abort and fallback."""
         report = RoutingReport()
-        remaining = list(requests)
-        for side in ("south", "north"):
-            group = [r for r in remaining if r.side == side]
-            routed = self._try_river(cell, group, side)
-            if routed:
-                report.routed.extend(routed)
-                remaining = [r for r in remaining if r.side != side]
-        for request in remaining:
-            try:
-                net = self.route_one(cell, request)
-            except (RoutingError, BudgetExceeded) as error:
-                net = self._retry_fine(cell, request)
-                if net is None:
-                    net = self._rip_and_reroute(cell, request, report)
-                if net is None:
-                    report.failed.append((request, error))
-                    continue
-            report.routed.append(net)
+        with obs_trace.span("pnr.route_all", cat="pnr", cell=cell.name,
+                            nets=len(requests)) as span:
+            remaining = list(requests)
+            for side in ("south", "north"):
+                group = [r for r in remaining if r.side == side]
+                with obs_trace.span("pnr.river", cat="pnr", side=side,
+                                    nets=len(group)):
+                    routed = self._try_river(cell, group, side)
+                if routed:
+                    obs_metrics.counter("pnr.route.river").inc(len(routed))
+                    report.routed.extend(routed)
+                    remaining = [r for r in remaining if r.side != side]
+            for request in remaining:
+                try:
+                    with obs_trace.span("pnr.maze", cat="pnr",
+                                        net=request.name):
+                        net = self.route_one(cell, request)
+                    obs_metrics.counter("pnr.route.maze").inc()
+                except (RoutingError, BudgetExceeded) as error:
+                    with obs_trace.span("pnr.half_pitch", cat="pnr",
+                                        net=request.name):
+                        net = self._retry_fine(cell, request)
+                    if net is not None:
+                        obs_metrics.counter("pnr.route.half_pitch").inc()
+                    else:
+                        with obs_trace.span("pnr.ripup", cat="pnr",
+                                            net=request.name):
+                            net = self._rip_and_reroute(cell, request, report)
+                        if net is not None:
+                            obs_metrics.counter("pnr.ripup.success").inc()
+                    if net is None:
+                        obs_metrics.counter("pnr.route.failed").inc()
+                        report.failed.append((request, error))
+                        continue
+                report.routed.append(net)
+            span.set(routed=len(report.routed), failed=len(report.failed))
         return report
 
     def route_one(self, cell: Cell, request: RouteRequest) -> RoutedNet:
@@ -372,6 +392,7 @@ class PnrRouter:
         for victim_name, (shape, rects, victim_request) in candidates:
             if victim_name == request.name:
                 continue
+            obs_metrics.counter("pnr.ripup.attempts").inc()
             self._undraw(cell, victim_name)
             try:
                 net = self.route_one(cell, request)

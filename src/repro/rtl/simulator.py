@@ -158,13 +158,42 @@ class RtlSimulator:
         self.cycle_count += 1
         return {d.name: self.values[d.name] for d in self.machine.outputs}
 
-    def run(self, cycles: int, inputs: Optional[Sequence[Dict[str, int]]] = None
-            ) -> List[Dict[str, int]]:
-        """Run several cycles; ``inputs`` optionally supplies one dict per cycle."""
+    def run(self, cycles: int, inputs: Optional[Sequence[Dict[str, int]]] = None,
+            vcd: Optional[object] = None) -> List[Dict[str, int]]:
+        """Run several cycles; ``inputs`` optionally supplies one dict per cycle.
+
+        ``vcd`` optionally streams every non-memory signal (registers, wires,
+        inputs, outputs — with their declared multi-bit widths) to a waveform
+        dump: pass a path (the writer is opened and closed here) or an open
+        :class:`repro.obs.vcd.VcdWriter` (caller keeps ownership).
+        """
+        from repro.obs import trace as obs_trace
+        from repro.obs import vcd as obs_vcd
+
+        owns_writer = isinstance(vcd, str)
+        writer = (obs_vcd.VcdWriter(vcd, module=self.machine.name)
+                  if owns_writer else vcd)
+        if writer is not None:
+            for declaration in self.machine.declarations.values():
+                if declaration.kind is not DeclKind.MEMORY:
+                    writer.add_signal(declaration.name, declaration.width)
         trace: List[Dict[str, int]] = []
-        for cycle in range(cycles):
-            vector = inputs[cycle] if inputs is not None and cycle < len(inputs) else None
-            trace.append(self.step(vector))
+        try:
+            with obs_trace.span("rtl.run", cat="rtl",
+                                machine=self.machine.name, cycles=cycles):
+                for cycle in range(cycles):
+                    vector = (inputs[cycle]
+                              if inputs is not None and cycle < len(inputs)
+                              else None)
+                    trace.append(self.step(vector))
+                    if writer is not None:
+                        writer.sample(cycle, {
+                            name: self.values[name]
+                            for name in self.values
+                        })
+        finally:
+            if owns_writer and writer is not None:
+                writer.close()
         return trace
 
     # -- statement execution (reference interpreter) ---------------------------------------

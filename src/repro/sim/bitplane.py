@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
 from repro.sim.kernel import (
     CompiledNetlist,
     OP_AND,
@@ -308,9 +309,11 @@ DEFAULT_MIN_PARALLEL_WIDTH = 128
 def _stream_worker(payload, task):
     """Simulate one contiguous slice of the stimulus streams."""
     start, stop = task
-    return _simulate_streams(payload["compiled"],
-                             payload["stimulus"][start:stop],
-                             payload["watch"], payload["reset_value"])
+    with obs_trace.span("sim.streams_slice", cat="sim",
+                        start=start, stop=stop):
+        return _simulate_streams(payload["compiled"],
+                                 payload["stimulus"][start:stop],
+                                 payload["watch"], payload["reset_value"])
 
 
 def run_streams(compiled: CompiledNetlist,
@@ -343,6 +346,15 @@ def run_streams(compiled: CompiledNetlist,
     cycle_counts = {len(stream) for stream in stimulus}
     if len(cycle_counts) != 1:
         raise ValueError("all stimulus streams must have the same length")
+    with obs_trace.span("sim.run_streams", cat="sim", streams=width,
+                        cycles=next(iter(cycle_counts))):
+        return _run_streams(compiled, stimulus, record, reset_value,
+                            use_parallel, min_parallel_width, width)
+
+
+def _run_streams(compiled, stimulus, record, reset_value, use_parallel,
+                 min_parallel_width, width):
+    """``run_streams`` body (inputs length-checked by the wrapper)."""
 
     input_names = [compiled.net_names[i] for i in compiled.input_ids]
     known_inputs = set(input_names)

@@ -32,6 +32,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import BudgetExceeded, Diagnostic, Severity
 from repro.netlist.module import GateType, Module
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 # Opcodes for the lowered gate records.
 OP_AND = 0
@@ -270,8 +272,13 @@ def compile_netlist(module: Module) -> CompiledNetlist:
     key = "compiled:" + netlist_hash(module)
     compiled = _COMPILE_CACHE.get(key)
     if compiled is None:
-        compiled = CompiledNetlist(module)
+        obs_metrics.counter("sim.compile.misses").inc()
+        with obs_trace.span("sim.compile", cat="sim", module=module.name,
+                            gates=len(module.instances)):
+            compiled = CompiledNetlist(module)
         _COMPILE_CACHE.put(key, compiled)
+    else:
+        obs_metrics.counter("sim.compile.hits").inc()
     return compiled
 
 
@@ -310,6 +317,8 @@ class ScalarEngine:
         self._evals: List[Callable[[], Optional[int]]] = [
             self._make_eval(g) for g in self._all_gates
         ]
+        self._settle_calls = obs_metrics.counter("sim.settle.calls")
+        self._settle_iterations = obs_metrics.counter("sim.settle.iterations")
 
     # -- gate closures ---------------------------------------------------------------
 
@@ -450,6 +459,8 @@ class ScalarEngine:
         names = self.compiled.net_names
         for net_id in dirty:
             values[names[net_id]] = vals[net_id]
+        self._settle_calls.inc()
+        self._settle_iterations.inc(iterations)
         return depth
 
     def clock(self) -> None:

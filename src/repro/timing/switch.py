@@ -115,6 +115,15 @@ class SwitchTimingAnalyzer:
     def analyze(self, circuit: "ExtractedCircuit",
                 parasitics: Optional[Dict[str, NetParasitics]] = None
                 ) -> BlockTiming:
+        from repro.obs import trace as obs_trace
+
+        with obs_trace.span("sta.analyze", cat="sta",
+                            circuit=circuit.cell_name):
+            return self._analyze(circuit, parasitics)
+
+    def _analyze(self, circuit: "ExtractedCircuit",
+                 parasitics: Optional[Dict[str, NetParasitics]] = None
+                 ) -> BlockTiming:
         parasitics = parasitics if parasitics is not None else circuit.parasitics
         network = circuit.network
         names = sorted(name for name in

@@ -1,0 +1,495 @@
+"""Observability suite: tracing, the metrics registry and VCD export.
+
+Covers the three pillars of ``repro.obs`` in isolation (span semantics,
+registry arithmetic, VCD round-trips through the in-repo reader) and then
+end to end: a traced sign-off of a real example chip must emit a valid
+Chrome trace-event JSON whose categories span the whole flow, a 2-worker
+parallel run must ship child-process spans back with their real pids, and
+the ``flow_metrics`` snapshot attached to every sign-off must keep its
+committed shape on all four example designs.
+
+Goldens live in ``tests/golden/``; set ``REPRO_UPDATE_GOLDENS=1`` to
+regenerate them after an intentional change.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import HierAnalyzer
+from repro.diagnostics import (
+    Budget,
+    BudgetExceeded,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    run_with_fallback,
+)
+from repro.generators import FsmLayoutGenerator, PlaGenerator
+from repro.logic import TruthTable, parse_expr
+from repro.netlist import GateLevelSimulator, GateType, Module
+from repro.obs import metrics, trace, vcd
+from repro.parallel import log_phase, phase, phase_log, reset_phase_log
+from repro.rtl import RtlSimulator, parse_rtl
+from repro.sim import compile_netlist, run_streams
+from repro.technology import nmos_technology
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "examples"))
+from chip_assembly import build_chip  # noqa: E402
+from traffic_light_controller import build_fsm  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "golden")
+UPDATE_GOLDENS = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+#: Metric families whose *names* are deterministic per chip regardless of
+#: worker count or wall-clock (``parallel.*`` counters hold seconds and only
+#: appear when a pool actually runs, so they stay out of the goldens).
+GOLDEN_METRIC_PREFIXES = ("budget.", "diagnostics.", "fallback.", "pnr.",
+                         "store.")
+
+LFSR_RTL = """
+machine lfsr8;
+input seed[8], load[1];
+output q[8];
+register state[8];
+always begin
+    if (load) state <- seed;
+    else state <- {state[6:0], state[7] ^ state[5] ^ state[4] ^ state[3]};
+    q = state;
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return nmos_technology()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Each test starts and ends with tracing off and an empty buffer."""
+    trace.disable()
+    trace.reset()
+    yield
+    trace.disable()
+    trace.reset()
+
+
+def adder_module() -> Module:
+    module = Module("obs_adder")
+    module.add_inputs("a", "b", "cin")
+    module.add_outputs("sum", "carry")
+    module.add_gate(GateType.XOR, "ab", ["a", "b"])
+    module.add_gate(GateType.XOR, "sum", ["ab", "cin"])
+    module.add_gate(GateType.AND, "ab_and", ["a", "b"])
+    module.add_gate(GateType.AND, "ac_and", ["a", "cin"])
+    module.add_gate(GateType.AND, "bc_and", ["b", "cin"])
+    module.add_gate(GateType.OR, "carry", ["ab_and", "ac_and", "bc_and"])
+    return module
+
+
+# -- spans ---------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_span_is_one_shared_noop(self):
+        assert not trace.enabled()
+        first = trace.span("x", cat="test", a=1)
+        second = trace.span("y")
+        assert first is second          # no allocation on the disabled path
+        with first as span:
+            span.set(found=3)           # attribute calls must be accepted
+        assert trace.drain() == []
+
+    def test_enabled_span_records_complete_event(self):
+        trace.enable()
+        with trace.span("obs.unit", cat="test", cell="c1") as span:
+            span.set(violations=2)
+        events = trace.drain()
+        assert len(events) == 1
+        event = events[0]
+        assert event["name"] == "obs.unit"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["args"] == {"cell": "c1", "violations": 2}
+        assert event["pid"] == os.getpid()
+        assert event["dur"] >= 0
+
+    def test_span_tags_exceptions(self):
+        trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("obs.fail", cat="test"):
+                raise RuntimeError("boom")
+        events = trace.drain()
+        assert events[0]["args"]["error"] == "RuntimeError"
+
+    def test_instant_event(self):
+        trace.enable()
+        trace.instant("obs.mark", cat="test", note="here")
+        events = trace.drain()
+        assert events[0]["ph"] == "i"
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        trace.enable()
+        with trace.span("obs.io", cat="test"):
+            pass
+        path = str(tmp_path / "trace.json")
+        trace.write(path)
+        info = trace.read_trace(path)
+        assert info["categories"] == {"test"}
+        assert info["pids"] == {os.getpid()}
+        assert len(info["events"]) == 1
+
+    def test_validate_events_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            trace.validate_events([{"ph": "X", "name": "n"}])
+        with pytest.raises(ValueError):
+            trace.validate_events([{"ph": "Q"}])
+
+
+# -- the metrics registry ------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = metrics.MetricsRegistry()
+        counter = registry.counter("obs.hits")
+        counter.inc()
+        counter.inc(4)
+        registry.gauge("obs.level").set(0.5)
+        histogram = registry.histogram("obs.sizes")
+        for value in (1, 2, 9):
+            histogram.observe(value)
+        snap = registry.snapshot()
+        assert snap["obs.hits"] == 5
+        assert snap["obs.level"] == 0.5
+        assert snap["obs.sizes"] == {
+            "count": 3, "sum": 12, "min": 1, "max": 9, "mean": 4.0}
+
+    def test_snapshot_and_reset_by_prefix(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("a.one").inc()
+        registry.counter("b.two").inc()
+        assert set(registry.snapshot(prefix="a.")) == {"a.one"}
+        registry.reset(prefix="a.")
+        assert set(registry.snapshot()) == {"b.two"}
+
+    def test_name_type_conflicts_error(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("obs.same")
+        with pytest.raises(ValueError):
+            registry.gauge("obs.same")
+
+    def test_dump_json(self, tmp_path):
+        registry = metrics.MetricsRegistry()
+        registry.counter("obs.dumped").inc(7)
+        path = str(tmp_path / "metrics.json")
+        registry.dump_json(path)
+        with open(path) as handle:
+            assert json.load(handle)["obs.dumped"] == 7
+
+
+# -- the phase-log shim over the registry --------------------------------------
+
+
+class TestPhaseShim:
+    def test_log_phase_roundtrip(self):
+        reset_phase_log("obstest")
+        log_phase("obstest", "shard", 0.25)
+        log_phase("obstest", "shard", 0.5)
+        assert phase_log("obstest") == {"shard": 0.75}
+        reset_phase_log("obstest")
+        assert phase_log("obstest") == {}
+
+    def test_phase_context_times_and_traces(self):
+        reset_phase_log("obstest")
+        trace.enable()
+        with phase("obstest", "merge"):
+            pass
+        assert "merge" in phase_log("obstest")
+        events = trace.drain()
+        assert events[0]["name"] == "parallel.obstest.merge"
+        assert events[0]["cat"] == "parallel"
+        reset_phase_log("obstest")
+
+
+# -- flow counters: fallbacks, diagnostics, budgets ----------------------------
+
+
+class TestFlowCounters:
+    def test_run_with_fallback_counts_degradations(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        before = metrics.snapshot(prefix="fallback.FBK007").get(
+            "fallback.FBK007", 0)
+
+        def broken():
+            raise RuntimeError("primary failed")
+
+        assert run_with_fallback("obs test", broken, lambda: 42,
+                                 code="FBK007") == 42
+        after = metrics.snapshot(prefix="fallback.FBK007")["fallback.FBK007"]
+        assert after == before + 1
+
+    def test_diagnostics_counted_by_code(self):
+        before = metrics.snapshot(prefix="diagnostics.OBS999").get(
+            "diagnostics.OBS999", 0)
+        collector = DiagnosticCollector()
+        collector.add(Diagnostic(Severity.WARNING, "OBS999", "test only"))
+        after = metrics.snapshot(
+            prefix="diagnostics.OBS999")["diagnostics.OBS999"]
+        assert after == before + 1
+
+    def test_budget_exhaustion_counted_and_gauged(self):
+        budget = Budget(iterations=3, label="obs probe", code="OBS998")
+        with pytest.raises(BudgetExceeded):
+            for _ in range(10):
+                budget.tick()
+        snap = metrics.snapshot(prefix="budget.")
+        assert snap["budget.exceeded.OBS998"] >= 1
+        assert snap["budget.obs_probe.consumed_fraction"] >= 1.0
+
+
+# -- the traced flow, end to end -----------------------------------------------
+
+
+class TestTracedFlow:
+    def test_full_sign_off_trace_covers_the_flow(self, tmp_path):
+        """Acceptance: one traced run covers every flow category."""
+        trace.enable()
+        assembler, _chip = build_chip("obs_traced_4b", 4, 0)
+        report = assembler.sign_off()
+        assert report.clean
+        # Simulation rides in the same trace: compile + run the adder.
+        simulator = GateLevelSimulator(adder_module())
+        simulator.run([{"a": m & 1, "b": (m >> 1) & 1, "cin": (m >> 2) & 1}
+                       for m in range(8)])
+        path = str(tmp_path / "signoff_trace.json")
+        trace.write(path)
+        info = trace.read_trace(path)       # the reader is the validator
+        assert info["categories"] >= {
+            "assembly", "drc", "extract", "erc", "hier", "pnr", "sim",
+            "sta", "store"}
+        names = {event["name"] for event in info["events"]}
+        assert "assembly.sign_off" in names
+        assert "pnr.route_all" in names
+        assert "store.get" in names
+
+    def test_worker_spans_carry_child_pids(self, tmp_path, monkeypatch):
+        """Spans from pool workers merge back with their real pids."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        machine = parse_rtl(LFSR_RTL)
+        from repro.rtl import RtlCompiler
+
+        module = RtlCompiler(machine).compile().module
+        compiled = compile_netlist(module.flattened())
+        stimulus = [
+            [{"load_0": 1 if cycle == 0 else 0,
+              **{f"seed_{i}": (stream >> i) & 1 for i in range(8)}}
+             for cycle in range(4)]
+            for stream in range(4)
+        ]
+        trace.enable()
+        run_streams(compiled, stimulus, min_parallel_width=2)
+        events = trace.drain()
+        pids = {event["pid"] for event in events}
+        assert os.getpid() in pids
+        assert len(pids) >= 2, "no worker-process spans were shipped back"
+        worker_spans = [event for event in events
+                        if event["pid"] != os.getpid()]
+        assert any(event["name"] == "sim.streams_slice"
+                   for event in worker_spans)
+
+
+# -- VCD export ----------------------------------------------------------------
+
+
+class TestVcd:
+    def test_writer_reader_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wave.vcd")
+        with vcd.VcdWriter(path, module="t") as writer:
+            writer.add_signal("bus", 4)
+            writer.sample(0, {"bus": 5, "a": 1})
+            writer.sample(1, {"bus": 5, "a": None})
+            writer.sample(2, {"bus": None, "a": 0})
+        parsed = vcd.read_vcd(path)
+        assert parsed.signals == {"bus": 4, "a": 1}
+        assert parsed.changes["bus"] == [(0, 5), (2, None)]
+        assert parsed.changes["a"] == [(0, 1), (1, None), (2, 0)]
+        assert parsed.value_at("bus", 1) == 5
+        assert parsed.value_at("a", 2) == 0
+
+    def test_reader_rejects_undeclared_codes(self):
+        with pytest.raises(ValueError):
+            vcd.parse_vcd("$enddefinitions $end\n#0\n1!\n")
+
+    def test_gate_sim_vcd_matches_trace(self, tmp_path):
+        simulator = GateLevelSimulator(adder_module())
+        vectors = [{"a": m & 1, "b": (m >> 1) & 1, "cin": (m >> 2) & 1}
+                   for m in range(8)]
+        path = str(tmp_path / "adder.vcd")
+        sim_trace = simulator.run(vectors, vcd=path)
+        parsed = vcd.read_vcd(path)
+        for cycle, values in enumerate(sim_trace.cycles):
+            for name, value in values.items():
+                assert parsed.value_at(name, cycle) == value, (name, cycle)
+
+    def test_rtl_lfsr_vcd_matches_golden(self, tmp_path):
+        """The E13 LFSR machine's waveform is pinned byte for byte."""
+        machine = parse_rtl(LFSR_RTL)
+        simulator = RtlSimulator(machine)
+        inputs = [{"seed": 0xA5, "load": 1 if cycle == 0 else 0}
+                  for cycle in range(16)]
+        path = str(tmp_path / "lfsr8.vcd")
+        simulator.run(16, inputs, vcd=path)
+        with open(path) as handle:
+            produced = handle.read()
+
+        golden_path = os.path.join(GOLDEN_DIR, "lfsr8.vcd")
+        if UPDATE_GOLDENS:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(golden_path, "w") as handle:
+                handle.write(produced)
+        with open(golden_path) as handle:
+            assert produced == handle.read()
+
+        # And it round-trips: the dump replays to the simulator's state.
+        parsed = vcd.read_vcd(path)
+        assert parsed.signals["state"] == 8
+        replay = RtlSimulator(machine)
+        replay.run(16, inputs)
+        assert parsed.value_at("state", 15) == replay.get("state")
+
+    def test_trace_to_vcd_convenience(self, tmp_path):
+        path = str(tmp_path / "posthoc.vcd")
+        vcd.trace_to_vcd([{"q": 0}, {"q": 1}, {"q": None}], path)
+        parsed = vcd.read_vcd(path)
+        assert parsed.changes["q"] == [(0, 0), (1, 1), (2, None)]
+
+
+# -- flow_metrics snapshots on the four example designs ------------------------
+
+
+def _pla_cell(technology):
+    table = TruthTable.from_expressions(
+        {"sum": parse_expr("a ^ b ^ cin"),
+         "carry": parse_expr("a & b | a & cin | b & cin")},
+        input_names=["a", "b", "cin"])
+    return PlaGenerator(technology, table, name="obs_adder_pla").cell()
+
+
+def _wrap_in_chip(name, cell, technology):
+    from repro.assembly import ChipAssembler
+
+    assembler = ChipAssembler(name, technology)
+    assembler.add_block("core", cell)
+    assembler.add_supply_pads()
+    assembler.assemble()
+    return assembler
+
+
+@pytest.fixture(scope="module")
+def flow_metric_reports(technology):
+    """The four example designs, each built and signed off from a clean
+    registry (the reset precedes *assembly* so routing counters land in the
+    chip's own snapshot)."""
+    analyzer = HierAnalyzer(technology)
+    reports = {}
+
+    metrics.reset_metrics()
+    quickstart = _wrap_in_chip("obs_quickstart", _pla_cell(technology),
+                               technology)
+    reports["quickstart"] = quickstart.sign_off(analyzer)
+
+    metrics.reset_metrics()
+    fsm_cell = FsmLayoutGenerator(technology, build_fsm()).cell()
+    fsm = _wrap_in_chip("obs_fsm", fsm_cell, technology)
+    reports["fsm"] = fsm.sign_off(analyzer)
+
+    metrics.reset_metrics()
+    family, _chip = build_chip("obs_family_4b", 4, 0)
+    reports["family"] = family.sign_off(analyzer)
+
+    from pdp8_subset_compiler import compiled_machine_summary
+
+    metrics.reset_metrics()
+    _compiled, layout, _report = compiled_machine_summary()
+    pdp8 = _wrap_in_chip("obs_pdp8", layout, technology)
+    reports["pdp8"] = pdp8.sign_off(analyzer)
+    return reports
+
+
+class TestFlowMetricsSnapshots:
+    def test_every_sign_off_snapshots_the_registry(self, flow_metric_reports):
+        for name, report in flow_metric_reports.items():
+            assert report.flow_metrics is not None, name
+            # The analyzer's store stats are mirrored into gauges...
+            assert "store.hits" in report.flow_metrics, name
+            # ...and agree with the report's own stats dict.
+            assert (report.flow_metrics["store.hits"]
+                    == report.store["hits"]), name
+
+    def test_family_chip_records_pnr_escalation(self, flow_metric_reports):
+        snapshot = flow_metric_reports["family"].flow_metrics
+        routed = sum(value for key, value in snapshot.items()
+                     if key.startswith("pnr.route.")
+                     and not key.endswith("failed"))
+        assert routed > 0
+
+    def test_metric_names_match_golden(self, flow_metric_reports):
+        produced = {
+            name: sorted(
+                key for key in report.flow_metrics
+                if key.startswith(GOLDEN_METRIC_PREFIXES))
+            for name, report in flow_metric_reports.items()
+        }
+        golden_path = os.path.join(GOLDEN_DIR, "flow_metrics.json")
+        if UPDATE_GOLDENS:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(golden_path, "w") as handle:
+                json.dump(produced, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        with open(golden_path) as handle:
+            assert produced == json.load(handle)
+
+
+# -- command-line validators ---------------------------------------------------
+
+
+class TestCliValidators:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs", *args],
+            capture_output=True, text=True, timeout=120)
+
+    def test_module_validates_trace_and_vcd(self, tmp_path):
+        trace.enable()
+        with trace.span("obs.cli", cat="test"):
+            pass
+        trace_path = str(tmp_path / "cli_trace.json")
+        trace.write(trace_path)
+        vcd_path = str(tmp_path / "cli_wave.vcd")
+        vcd.trace_to_vcd([{"q": 0}, {"q": 1}], vcd_path)
+        result = self._run(trace_path, vcd_path)
+        assert result.returncode == 0, result.stderr
+        assert "obs.cli" not in result.stderr
+
+    def test_module_flags_invalid_artifacts(self, tmp_path):
+        bad = tmp_path / "bad.vcd"
+        bad.write_text("$enddefinitions $end\n#0\n1!\n")
+        result = self._run(str(bad))
+        assert result.returncode == 1
+
+    def test_check_regression_summarize(self):
+        script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              os.pardir, "benchmarks", "check_regression.py")
+        result = subprocess.run(
+            [sys.executable, script, "--summarize"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "e13" in result.stdout
+        assert "speedup" in result.stdout
